@@ -1,0 +1,49 @@
+//! Criterion benches for the cloud request-queue simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vc_bench::scenarios;
+use vc_cloudsim::sim::{self, PolicyMode, SimConfig};
+use vc_cloudsim::ArrivalProcess;
+use vc_placement::global::Admission;
+use vc_placement::online::OnlineHeuristic;
+
+fn bench_queue_sim(c: &mut Criterion) {
+    let state = scenarios::paper_cloud(3);
+    let trace = ArrivalProcess::paper_standard().generate(50, 3, &mut StdRng::seed_from_u64(3));
+
+    let mut group = c.benchmark_group("cloudsim_50req");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("individual_online", |b| {
+        b.iter(|| {
+            sim::run(
+                black_box(&state),
+                SimConfig::new(
+                    trace.clone(),
+                    PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                    3,
+                ),
+            )
+        })
+    });
+    group.bench_function("global_batch", |b| {
+        b.iter(|| {
+            sim::run(
+                black_box(&state),
+                SimConfig::new(
+                    trace.clone(),
+                    PolicyMode::GlobalBatch(Admission::FifoBlocking),
+                    3,
+                ),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_sim);
+criterion_main!(benches);

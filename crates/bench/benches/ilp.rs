@@ -1,0 +1,65 @@
+// Index-based loops mirror the ILP formulation.
+#![allow(clippy::needless_range_loop)]
+//! Criterion benches for the from-scratch MILP solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vc_ilp::{Cmp, Problem};
+
+fn knapsack(n: usize) -> Problem {
+    let mut p = Problem::maximize();
+    let mut terms = Vec::new();
+    for i in 0..n {
+        let value = 10.0 + ((i * 37) % 50) as f64;
+        let weight = 5.0 + ((i * 17) % 30) as f64;
+        let x = p.add_int_var(0.0, 1.0, value);
+        terms.push((x, weight));
+    }
+    let cap: f64 = terms.iter().map(|&(_, w)| w).sum::<f64>() * 0.4;
+    p.add_constraint(terms, Cmp::Le, cap);
+    p
+}
+
+fn sd_like(n_nodes: usize, m_types: usize) -> Problem {
+    // The §III-B SD ILP for one fixed centre: transportation structure.
+    let mut p = Problem::minimize();
+    let mut vars = vec![vec![]; n_nodes];
+    for (i, row) in vars.iter_mut().enumerate() {
+        let dist = if i == 0 {
+            0.0
+        } else if i < n_nodes / 3 {
+            1.0
+        } else {
+            2.0
+        };
+        for _ in 0..m_types {
+            row.push(p.add_int_var(0.0, 3.0, dist));
+        }
+    }
+    for j in 0..m_types {
+        let terms: Vec<_> = (0..n_nodes).map(|i| (vars[i][j], 1.0)).collect();
+        p.add_constraint(terms, Cmp::Eq, 5.0);
+    }
+    p
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
+    let k = knapsack(20);
+    group.bench_function("knapsack20", |b| b.iter(|| black_box(&k).solve().unwrap()));
+    let sd = sd_like(30, 3);
+    group.bench_function("sd_fixed_center_30x3", |b| {
+        b.iter(|| black_box(&sd).solve().unwrap())
+    });
+    let lp = sd_like(30, 3);
+    group.bench_function("sd_lp_relaxation_30x3", |b| {
+        b.iter(|| black_box(&lp).solve_relaxation().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for the MapReduce discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vc_bench::scenarios;
+use vc_mapreduce::engine::SimParams;
+use vc_mapreduce::{simulate_job, JobConfig, Workload};
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_job");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    let clusters = scenarios::fig7_clusters();
+    let (_, compact) = &clusters[0];
+    let (_, spread) = &clusters[3];
+
+    let paper = JobConfig::paper_wordcount();
+    group.bench_function("wordcount_32maps_compact", |b| {
+        b.iter(|| simulate_job(black_box(compact), black_box(&paper), &SimParams::default()))
+    });
+    group.bench_function("wordcount_32maps_spread", |b| {
+        b.iter(|| simulate_job(black_box(spread), black_box(&paper), &SimParams::default()))
+    });
+
+    for maps in [32u32, 128, 512] {
+        let job = JobConfig {
+            input_mb: f64::from(maps) * 64.0,
+            num_reducers: 4,
+            workload: Workload::terasort(),
+            ..JobConfig::paper_wordcount()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("terasort_scaling", maps),
+            &job,
+            |b, job| {
+                b.iter(|| simulate_job(black_box(compact), black_box(job), &SimParams::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches for the placement algorithms: Algorithm 1 scaling
+//! with cloud size, exact-SD and baseline costs, and the Theorem-2
+//! exchange pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+use vc_model::workload::{random_capacity, RequestProfile};
+use vc_model::{ClusterState, VmCatalog};
+use vc_placement::global::{self, Admission};
+use vc_placement::{baselines, exact, online, PlacementPolicy};
+use vc_topology::{generate, DistanceTiers};
+
+fn cloud(racks: usize, nodes_per_rack: usize, seed: u64) -> ClusterState {
+    let topo = Arc::new(generate::uniform(
+        racks,
+        nodes_per_rack,
+        DistanceTiers::paper_experiment(),
+    ));
+    let catalog = Arc::new(VmCatalog::ec2_table1());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let capacity = random_capacity(&topo, &catalog, 3, &mut rng);
+    ClusterState::new(topo, catalog, capacity)
+}
+
+fn bench_online_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_heuristic_scaling");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
+    for &(racks, nodes) in &[(3usize, 10usize), (6, 10), (6, 20), (12, 20)] {
+        let state = cloud(racks, nodes, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let request = RequestProfile::standard().sample(3, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nodes", racks * nodes)),
+            &state,
+            |b, state| {
+                b.iter(|| online::place(black_box(&request), black_box(state)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_solvers_paper_size(c: &mut Criterion) {
+    let state = cloud(3, 10, 11);
+    let mut rng = StdRng::seed_from_u64(11);
+    let request = RequestProfile::standard().sample(3, &mut rng);
+    let mut group = c.benchmark_group("sd_solvers_30nodes");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("online", |b| {
+        b.iter(|| online::place(black_box(&request), black_box(&state)).unwrap())
+    });
+    group.bench_function("exact", |b| {
+        b.iter(|| exact::solve(black_box(&request), black_box(&state)).unwrap())
+    });
+    group.bench_function("first_fit", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            baselines::FirstFit
+                .place(black_box(&request), black_box(&state), &mut rng)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_global_queue(c: &mut Criterion) {
+    let state = cloud(3, 10, 13);
+    let mut rng = StdRng::seed_from_u64(13);
+    let queue = RequestProfile::small().sample_many(3, 20, &mut rng);
+    let mut group = c.benchmark_group("global");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("algorithm2_queue20", |b| {
+        b.iter(|| {
+            global::place_queue(
+                black_box(&queue),
+                black_box(&state),
+                Admission::FifoBlocking,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_online_scaling,
+    bench_solvers_paper_size,
+    bench_global_queue
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: the combiner's effect on affinity sensitivity. With the
+//! combiner the shuffle is small and runtimes barely depend on cluster
+//! distance; without it (or with TeraSort) the shuffle dominates and
+//! affinity-aware placement pays off — quantifying the paper's motivation
+//! that "network traffic becomes the bottleneck".
+
+use vc_bench::scenarios;
+use vc_mapreduce::engine::SimParams;
+use vc_mapreduce::{simulate_job, JobConfig, Workload};
+
+fn main() {
+    let workloads = [
+        Workload::wordcount(),
+        Workload::wordcount_no_combiner(),
+        Workload::terasort(),
+        Workload::grep(),
+    ];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for w in &workloads {
+        let job = JobConfig {
+            workload: w.clone(),
+            ..JobConfig::paper_wordcount()
+        };
+        let clusters = scenarios::fig7_clusters();
+        let runtimes: Vec<f64> = clusters
+            .iter()
+            .map(|(_, c)| {
+                simulate_job(c, &job, &SimParams::default())
+                    .runtime
+                    .as_secs_f64()
+            })
+            .collect();
+        let slowdown = runtimes.last().unwrap() / runtimes.first().unwrap();
+        series.push((w.name.clone(), runtimes.clone(), slowdown));
+        rows.push(vec![
+            w.name.clone(),
+            format!("{:.1}", runtimes[0]),
+            format!("{:.1}", runtimes[1]),
+            format!("{:.1}", runtimes[2]),
+            format!("{:.1}", runtimes[3]),
+            format!("{slowdown:.2}x"),
+        ]);
+    }
+    vc_bench::table::print(
+        "Ablation — runtime (s) per workload across the Fig. 7 clusters",
+        &["workload", "d=10", "d=14", "d=16", "d=20", "spread/compact"],
+        &rows,
+    );
+    vc_bench::emit_json(
+        "ablation_combiner",
+        &serde_json::json!({ "series": series }),
+    );
+}

@@ -1,0 +1,63 @@
+//! Ablation: multi-tenant cross-traffic. Background tenants consume rack
+//! uplink bandwidth; at flow level this is equivalent to shrinking the
+//! uplink capacity available to the job. The squeeze amplifies the
+//! affinity effect: compact clusters barely notice, spread clusters
+//! collapse — the paper's core motivation ("bandwidth is limited and the
+//! cost is very high") made quantitative.
+
+use vc_bench::scenarios;
+use vc_mapreduce::engine::SimParams;
+use vc_mapreduce::{simulate_job, JobConfig, Workload};
+use vc_netsim::NetworkParams;
+
+fn main() {
+    let job = JobConfig {
+        workload: Workload::terasort(),
+        num_reducers: 4,
+        ..JobConfig::paper_wordcount()
+    };
+    let uplinks = [119.0f64, 60.0, 30.0];
+    let clusters = scenarios::fig7_clusters();
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &uplink in &uplinks {
+        let params = SimParams {
+            net: NetworkParams {
+                rack_uplink_mbps: uplink,
+                ..NetworkParams::default()
+            },
+            ..SimParams::default()
+        };
+        let runtimes: Vec<f64> = clusters
+            .iter()
+            .map(|(_, c)| simulate_job(c, &job, &params).runtime.as_secs_f64())
+            .collect();
+        let ratio = runtimes.last().unwrap() / runtimes.first().unwrap();
+        series.push((uplink, runtimes.clone(), ratio));
+        rows.push(vec![
+            format!("{uplink:.0} MB/s"),
+            format!("{:.1}", runtimes[0]),
+            format!("{:.1}", runtimes[1]),
+            format!("{:.1}", runtimes[2]),
+            format!("{:.1}", runtimes[3]),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    vc_bench::table::print(
+        "Ablation — TeraSort runtime (s) vs uplink squeeze (4 reducers)",
+        &[
+            "free uplink",
+            "d=10",
+            "d=14",
+            "d=16",
+            "d=20",
+            "spread/compact",
+        ],
+        &rows,
+    );
+    vc_bench::emit_json(
+        "ablation_crosstraffic",
+        &serde_json::json!({ "series": series }),
+    );
+}

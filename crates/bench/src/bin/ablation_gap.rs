@@ -1,0 +1,85 @@
+//! Ablation: optimality gap of Algorithm 1 against the exact SD solver
+//! (and the ILP cross-check) over many random clouds and requests.
+//!
+//! DESIGN.md calls out the fixed-centre decomposition as provably optimal;
+//! this harness quantifies how far the `O(n²m)` heuristic lands from it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_bench::scenarios;
+use vc_model::workload::RequestProfile;
+use vc_placement::distance::distance_with_center;
+use vc_placement::{exact, ilp, online};
+
+fn main() {
+    let seeds: Vec<u64> = (0..20).collect();
+    let mut total_cases = 0u32;
+    let mut optimal_cases = 0u32;
+    let mut gap_sum = 0.0f64;
+    let mut gap_max = 0.0f64;
+    let mut ilp_checked = 0u32;
+
+    for &seed in &seeds {
+        let state = scenarios::paper_cloud(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let requests = RequestProfile::standard().sample_many(3, 10, &mut rng);
+        for request in &requests {
+            if !state.can_satisfy(request) {
+                continue;
+            }
+            let h = online::place(request, &state).expect("satisfiable");
+            let e = exact::solve(request, &state).expect("satisfiable");
+            let topo = state.topology();
+            let dh = distance_with_center(h.matrix(), topo, h.center());
+            let de = distance_with_center(e.matrix(), topo, e.center());
+            assert!(dh >= de, "heuristic beat the exact solver: {dh} < {de}");
+            total_cases += 1;
+            if dh == de {
+                optimal_cases += 1;
+            }
+            if de > 0 {
+                let gap = (dh - de) as f64 / de as f64;
+                gap_sum += gap;
+                gap_max = gap_max.max(gap);
+            }
+            // ILP cross-check on a sample (it is the slow path).
+            if total_cases.is_multiple_of(25) {
+                let i = ilp::solve(request, &state).expect("satisfiable");
+                let di = distance_with_center(i.matrix(), topo, i.center());
+                assert_eq!(di, de, "ILP disagrees with exact solver");
+                ilp_checked += 1;
+            }
+        }
+    }
+
+    let rows = vec![vec![
+        total_cases.to_string(),
+        format!(
+            "{:.1}%",
+            100.0 * f64::from(optimal_cases) / f64::from(total_cases)
+        ),
+        format!("{:.2}%", 100.0 * gap_sum / f64::from(total_cases)),
+        format!("{:.2}%", 100.0 * gap_max),
+        ilp_checked.to_string(),
+    ]];
+    vc_bench::table::print(
+        "Ablation — Algorithm 1 optimality gap vs exact SD",
+        &[
+            "cases",
+            "optimal",
+            "mean gap",
+            "max gap",
+            "ILP cross-checks",
+        ],
+        &rows,
+    );
+    vc_bench::emit_json(
+        "ablation_gap",
+        &serde_json::json!({
+            "cases": total_cases,
+            "optimal_fraction": f64::from(optimal_cases) / f64::from(total_cases),
+            "mean_gap": gap_sum / f64::from(total_cases),
+            "max_gap": gap_max,
+        }),
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates **Fig. 5**: online heuristic vs. global sub-optimisation
+//! over a queue of twenty *standard-size* requests (paper: global is
+//! ≈ 2 % shorter in total).
+
+use vc_bench::scenarios::FIG_SEED;
+use vc_model::workload::RequestProfile;
+
+fn main() {
+    vc_bench::fig56::run("fig5", RequestProfile::standard(), FIG_SEED);
+}

@@ -1,0 +1,11 @@
+//! Regenerates **Fig. 6**: online heuristic vs. global sub-optimisation
+//! over a queue of twenty requests with a *relatively small* number of
+//! VMs (paper: global is ≈ 12 % shorter — small clusters leave more
+//! exchange opportunities).
+
+use vc_bench::scenarios::FIG_SEED;
+use vc_model::workload::RequestProfile;
+
+fn main() {
+    vc_bench::fig56::run("fig6", RequestProfile::small(), FIG_SEED);
+}

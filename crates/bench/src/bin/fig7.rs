@@ -1,0 +1,42 @@
+//! Regenerates **Fig. 7**: WordCount runtime on four equal-capability
+//! virtual clusters whose only difference is affinity distance (paper:
+//! shorter distance → shorter runtime, with one anomaly explained by a
+//! worse data-locality draw — see Fig. 8).
+
+use vc_bench::scenarios;
+use vc_mapreduce::engine::SimParams;
+use vc_mapreduce::{simulate_job, JobConfig};
+
+fn main() {
+    let job = JobConfig::paper_wordcount();
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (name, cluster) in scenarios::fig7_clusters() {
+        let metrics = simulate_job(&cluster, &job, &SimParams::default());
+        series.push((metrics.cluster_distance, metrics.runtime.as_secs_f64()));
+        rows.push(vec![
+            name.to_string(),
+            metrics.cluster_distance.to_string(),
+            format!("{:.1}", metrics.runtime.as_secs_f64()),
+            format!("{:.1}", metrics.maps_finished_at.as_secs_f64()),
+            format!("{:.1}", metrics.shuffle_finished_at.as_secs_f64()),
+        ]);
+    }
+    vc_bench::table::print(
+        "Fig. 7 — WordCount runtime vs cluster distance (32 maps, 1 reduce)",
+        &[
+            "cluster",
+            "distance",
+            "runtime (s)",
+            "maps done (s)",
+            "shuffle done (s)",
+        ],
+        &rows,
+    );
+    let bars: Vec<(String, f64)> = series
+        .iter()
+        .map(|&(d, runtime)| (format!("distance {d:>2}"), runtime))
+        .collect();
+    vc_bench::chart::print("runtime (s)", &bars, 48);
+    vc_bench::emit_json("fig7", &serde_json::json!({ "series": series }));
+}

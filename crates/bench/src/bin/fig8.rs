@@ -1,0 +1,50 @@
+//! Regenerates **Fig. 8**: data- and shuffle-locality on the same four
+//! virtual clusters as Fig. 7 — non-data-local map tasks and the
+//! non-local shuffle fraction explain the runtime anomaly.
+
+use vc_bench::scenarios;
+use vc_mapreduce::engine::SimParams;
+use vc_mapreduce::{simulate_job, JobConfig};
+
+fn main() {
+    let job = JobConfig::paper_wordcount();
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (name, cluster) in scenarios::fig7_clusters() {
+        let m = simulate_job(&cluster, &job, &SimParams::default());
+        series.push((
+            m.cluster_distance,
+            m.non_data_local_maps(),
+            m.non_local_shuffle_fraction(),
+            m.cross_rack_shuffle_fraction(),
+        ));
+        rows.push(vec![
+            name.to_string(),
+            m.cluster_distance.to_string(),
+            m.data_local_maps.to_string(),
+            m.rack_local_maps.to_string(),
+            m.remote_maps.to_string(),
+            format!("{:.1}%", 100.0 * m.non_local_shuffle_fraction()),
+            format!("{:.1}%", 100.0 * m.cross_rack_shuffle_fraction()),
+        ]);
+    }
+    vc_bench::table::print(
+        "Fig. 8 — data & shuffle locality vs cluster distance (32 maps, 1 reduce)",
+        &[
+            "cluster",
+            "distance",
+            "node-local maps",
+            "rack-local maps",
+            "remote maps",
+            "off-node shuffle",
+            "cross-rack shuffle",
+        ],
+        &rows,
+    );
+    let bars: Vec<(String, f64)> = series
+        .iter()
+        .map(|&(d, non_local, _, _)| (format!("distance {d:>2}"), f64::from(non_local)))
+        .collect();
+    vc_bench::chart::print("non-data-local map tasks", &bars, 48);
+    vc_bench::emit_json("fig8", &serde_json::json!({ "series": series }));
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Table I**: the Amazon EC2 instance types available to
+//! requests (paper §II).
+
+use vc_model::VmCatalog;
+
+fn main() {
+    let catalog = VmCatalog::ec2_table1();
+    let rows: Vec<Vec<String>> = catalog
+        .types()
+        .iter()
+        .map(|t| {
+            vec![
+                format!("{} ({})", t.id, t.name),
+                format!("{:.2}", f64::from(t.memory_mb) / 1024.0),
+                t.compute_units.to_string(),
+                t.storage_gb.to_string(),
+                format!("{}-bit", t.platform_bits),
+            ]
+        })
+        .collect();
+    vc_bench::table::print(
+        "Table I — VM instance types (Amazon EC2)",
+        &[
+            "Instance type",
+            "Memory (GB)",
+            "CPU (compute unit)",
+            "Storage (GB)",
+            "Platform",
+        ],
+        &rows,
+    );
+    vc_bench::emit_json("table1", &catalog.types());
+}

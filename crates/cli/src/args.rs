@@ -1,0 +1,170 @@
+//! Minimal `--flag value` / `--switch` argument parsing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An argument or execution error, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    message: String,
+}
+
+impl ArgError {
+    /// Wrap a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Boolean switches that take no value.
+const SWITCHES: &[&str] = &["json", "speculative"];
+
+/// Parsed `--key value` pairs and switches.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Parsed {
+    /// Parse raw arguments. Every option must start with `--`; known
+    /// boolean switches consume no value, everything else consumes
+    /// exactly one.
+    pub fn parse(args: &[String]) -> Result<Self, ArgError> {
+        let mut out = Parsed::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ArgError::new(format!("unexpected argument `{arg}`")));
+            };
+            if SWITCHES.contains(&key) {
+                out.switches.push(key.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::new(format!("option --{key} requires a value")))?;
+                out.values.insert(key.to_string(), value.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A string option with a default.
+    pub fn str_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.values.get(name).map_or(default, String::as_str)
+    }
+
+    /// A required string option.
+    pub fn required(&self, name: &str) -> Result<&str, ArgError> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::new(format!("missing required option --{name}")))
+    }
+
+    /// A numeric option with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::new(format!("invalid value `{v}` for --{name}"))),
+        }
+    }
+
+    /// A comma-separated list of `u32`.
+    pub fn u32_list(&self, name: &str) -> Result<Option<Vec<u32>>, ArgError> {
+        match self.values.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .map_err(|_| ArgError::new(format!("invalid list `{v}` for --{name}")))
+                })
+                .collect::<Result<Vec<u32>, _>>()
+                .map(Some),
+        }
+    }
+
+    /// Reject any option not in `allowed` (switches included).
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.values.keys().chain(self.switches.iter()) {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError::new(format!("unknown option --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Parsed, ArgError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Parsed::parse(&v)
+    }
+
+    #[test]
+    fn values_and_switches() {
+        let p = parse(&["--racks", "4", "--json", "--seed", "7"]).unwrap();
+        assert_eq!(p.str_or("racks", "3"), "4");
+        assert!(p.switch("json"));
+        assert!(!p.switch("speculative"));
+        assert_eq!(p.num_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(p.num_or("missing", 9u32).unwrap(), 9);
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&["--racks"]).is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(parse(&["positional"]).is_err());
+    }
+
+    #[test]
+    fn list_parsing() {
+        let p = parse(&["--request", "2, 4,1"]).unwrap();
+        assert_eq!(p.u32_list("request").unwrap(), Some(vec![2, 4, 1]));
+        assert_eq!(p.u32_list("absent").unwrap(), None);
+        let bad = parse(&["--request", "2,x"]).unwrap();
+        assert!(bad.u32_list("request").is_err());
+    }
+
+    #[test]
+    fn required_and_unknown() {
+        let p = parse(&["--a", "1"]).unwrap();
+        assert_eq!(p.required("a").unwrap(), "1");
+        assert!(p.required("b").is_err());
+        assert!(p.ensure_known(&["a"]).is_ok());
+        assert!(p.ensure_known(&["b"]).is_err());
+    }
+
+    #[test]
+    fn bad_number_message_names_flag() {
+        let p = parse(&["--seed", "NaN!"]).unwrap();
+        let err = p.num_or("seed", 0u64).unwrap_err();
+        assert!(err.to_string().contains("--seed"));
+    }
+}

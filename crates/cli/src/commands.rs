@@ -1,0 +1,302 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Parsed};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use vc_cloudsim::sim::{PolicyMode, SimConfig};
+use vc_cloudsim::{ArrivalProcess, ServiceTime};
+use vc_des::SimTime;
+use vc_mapreduce::engine::SimParams;
+use vc_mapreduce::{JobConfig, VirtualCluster, Workload};
+use vc_model::workload::RequestProfile;
+use vc_model::{ClusterState, Request, VmCatalog};
+use vc_netsim::NetworkParams;
+use vc_placement::distance::distance_with_center;
+use vc_placement::global::Admission;
+use vc_placement::{baselines, exact, ilp, online, PlacementPolicy};
+use vc_topology::{generate, DistanceTiers, NodeId};
+
+fn build_cloud(p: &Parsed) -> Result<ClusterState, ArgError> {
+    let racks = p.num_or("racks", 3usize)?;
+    let nodes = p.num_or("nodes", 10usize)?;
+    let capacity = p.num_or("capacity", 2u32)?;
+    if racks == 0 || nodes == 0 {
+        return Err(ArgError::new("--racks and --nodes must be positive"));
+    }
+    let topo = Arc::new(generate::uniform(
+        racks,
+        nodes,
+        DistanceTiers::paper_experiment(),
+    ));
+    let catalog = Arc::new(VmCatalog::ec2_table1());
+    Ok(ClusterState::uniform_capacity(topo, catalog, capacity))
+}
+
+fn policy_by_name(name: &str) -> Result<Box<dyn PlacementPolicy>, ArgError> {
+    Ok(match name {
+        "online" => Box::new(online::OnlineHeuristic),
+        "exact" => Box::new(exact::ExactSd),
+        "ilp" => Box::new(ilp::IlpSd),
+        "first-fit" => Box::new(baselines::FirstFit),
+        "best-fit" => Box::new(baselines::BestFit),
+        "spread" => Box::new(baselines::Spread),
+        "random" => Box::new(baselines::RandomPlacement),
+        other => {
+            return Err(ArgError::new(format!(
+                "unknown policy `{other}` for --policy"
+            )))
+        }
+    })
+}
+
+/// `affinity-vc place`
+pub fn place(p: &Parsed) -> Result<String, ArgError> {
+    p.ensure_known(&[
+        "request", "policy", "racks", "nodes", "capacity", "seed", "json",
+    ])?;
+    let counts = p
+        .u32_list("request")?
+        .ok_or_else(|| ArgError::new("missing required option --request (e.g. --request 2,4,1)"))?;
+    let cloud = build_cloud(p)?;
+    if counts.len() != cloud.num_types() {
+        return Err(ArgError::new(format!(
+            "--request must list {} counts (one per VM type)",
+            cloud.num_types()
+        )));
+    }
+    let request = Request::from_counts(counts.clone());
+    if request.is_zero() {
+        return Err(ArgError::new("--request must ask for at least one VM"));
+    }
+    let policy = policy_by_name(p.str_or("policy", "online"))?;
+    let mut rng = StdRng::seed_from_u64(p.num_or("seed", 0u64)?);
+
+    let allocation = policy
+        .place(&request, &cloud, &mut rng)
+        .map_err(|e| ArgError::new(e.to_string()))?;
+    let distance = distance_with_center(allocation.matrix(), cloud.topology(), allocation.center());
+
+    if p.switch("json") {
+        let placements: Vec<_> = allocation
+            .matrix()
+            .entries()
+            .map(|(n, t, c)| serde_json::json!({"node": n.0, "type": t.0, "count": c}))
+            .collect();
+        return Ok(serde_json::json!({
+            "request": counts,
+            "policy": policy.name(),
+            "distance": distance,
+            "center": allocation.center().0,
+            "span_nodes": allocation.span(),
+            "span_racks": allocation.rack_span(cloud.topology()),
+            "placements": placements,
+        })
+        .to_string());
+    }
+    let mut out = format!(
+        "policy {} placed {request}: distance {distance}, centre {}, {} node(s), {} rack(s)\n",
+        policy.name(),
+        allocation.center(),
+        allocation.span(),
+        allocation.rack_span(cloud.topology()),
+    );
+    for (node, ty, count) in allocation.matrix().entries() {
+        out.push_str(&format!("  {node}: {count}×{ty}\n"));
+    }
+    Ok(out)
+}
+
+/// `affinity-vc simulate-job`
+pub fn simulate_job(p: &Parsed) -> Result<String, ArgError> {
+    p.ensure_known(&[
+        "spread",
+        "workload",
+        "maps",
+        "reducers",
+        "seed",
+        "json",
+        "speculative",
+        "straggler-prob",
+    ])?;
+    let spread = p.u32_list("spread")?.unwrap_or_else(|| vec![2, 10, 0]);
+    if spread.len() != 3 {
+        return Err(ArgError::new(
+            "--spread must be on_master,same_rack,cross_rack",
+        ));
+    }
+    let workload = match p.str_or("workload", "wordcount") {
+        "wordcount" => Workload::wordcount(),
+        "wordcount-nocombine" => Workload::wordcount_no_combiner(),
+        "terasort" => Workload::terasort(),
+        "grep" => Workload::grep(),
+        other => return Err(ArgError::new(format!("unknown workload `{other}`"))),
+    };
+    let maps = p.num_or("maps", 32u32)?;
+    let reducers = p.num_or("reducers", 1u32)?;
+    if maps == 0 || reducers == 0 {
+        return Err(ArgError::new("--maps and --reducers must be positive"));
+    }
+
+    let topo = Arc::new(generate::paper_simulation());
+    let mut nodes = vec![NodeId(0); spread[0] as usize];
+    nodes.extend((0..spread[1]).map(|i| NodeId(1 + (i % 9))));
+    nodes.extend((0..spread[2]).map(|i| NodeId(10 + (i % 20))));
+    if nodes.is_empty() {
+        return Err(ArgError::new("--spread must place at least one VM"));
+    }
+    let cluster = VirtualCluster::homogeneous(&nodes, nodes.len(), topo);
+
+    let job = JobConfig {
+        workload,
+        input_mb: f64::from(maps) * 64.0,
+        split_mb: 64.0,
+        num_reducers: reducers,
+        replication: 3,
+    };
+    let params = SimParams {
+        net: NetworkParams::default(),
+        seed: p.num_or("seed", 0u64)?,
+        straggler_prob: p.num_or("straggler-prob", 0.0f64)?,
+        speculative_execution: p.switch("speculative"),
+        ..SimParams::default()
+    };
+    let m = vc_mapreduce::simulate_job(&cluster, &job, &params);
+
+    if p.switch("json") {
+        return serde_json::to_string(&m).map_err(|e| ArgError::new(e.to_string()));
+    }
+    Ok(format!(
+        "cluster distance {}: runtime {:.1}s ({} maps: {} data-local / {} rack / {} remote; \
+         non-local shuffle {:.0}%; {} speculative backups, {} won)\n",
+        m.cluster_distance,
+        m.runtime.as_secs_f64(),
+        m.num_maps,
+        m.data_local_maps,
+        m.rack_local_maps,
+        m.remote_maps,
+        100.0 * m.non_local_shuffle_fraction(),
+        m.speculative_attempts,
+        m.speculative_wins,
+    ))
+}
+
+/// `affinity-vc simulate-queue`
+pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
+    p.ensure_known(&[
+        "requests",
+        "rate",
+        "policy",
+        "racks",
+        "nodes",
+        "capacity",
+        "seed",
+        "json",
+        "trace",
+        "save-trace",
+    ])?;
+    let cloud = build_cloud(p)?;
+    let count = p.num_or("requests", 20usize)?;
+    let rate = p.num_or("rate", 0.5f64)?;
+    if rate <= 0.0 {
+        return Err(ArgError::new("--rate must be positive"));
+    }
+    let seed = p.num_or("seed", 0u64)?;
+    let trace = match p.str_or("trace", "") {
+        "" => {
+            let process = ArrivalProcess {
+                rate_per_s: rate,
+                profile: RequestProfile::standard(),
+                service: ServiceTime::UniformMs(10_000, 60_000),
+            };
+            process.generate(count, cloud.num_types(), &mut StdRng::seed_from_u64(seed))
+        }
+        path => vc_cloudsim::trace::load(path).map_err(|e| ArgError::new(e.to_string()))?,
+    };
+    match p.str_or("save-trace", "") {
+        "" => {}
+        path => {
+            vc_cloudsim::trace::save(&trace, path).map_err(|e| ArgError::new(e.to_string()))?;
+        }
+    }
+
+    let policy_name = p.str_or("policy", "online");
+    let mode = if policy_name == "global" {
+        PolicyMode::GlobalBatch(Admission::FifoBlocking)
+    } else {
+        PolicyMode::Individual(policy_by_name(policy_name)?)
+    };
+    let total = trace.len();
+    let result = vc_cloudsim::sim::run(&cloud, SimConfig::new(trace, mode, seed));
+
+    if p.switch("json") {
+        let outcomes: Vec<_> = result
+            .outcomes
+            .iter()
+            .map(|o| {
+                serde_json::json!({
+                    "id": o.id,
+                    "distance": o.distance,
+                    "wait_s": o.wait().map(SimTime::as_secs_f64),
+                    "refused": o.refused,
+                })
+            })
+            .collect();
+        return Ok(serde_json::json!({
+            "policy": policy_name,
+            "served": result.served,
+            "refused": result.refused,
+            "total_distance": result.total_distance,
+            "mean_wait_s": result.mean_wait.as_secs_f64(),
+            "outcomes": outcomes,
+        })
+        .to_string());
+    }
+    Ok(format!(
+        "policy {policy_name}: served {}/{} (refused {}), Σdistance {}, mean wait {:.1}s\n",
+        result.served,
+        total,
+        result.refused,
+        result.total_distance,
+        result.mean_wait.as_secs_f64(),
+    ))
+}
+
+/// `affinity-vc derive-distance`
+pub fn derive_distance(p: &Parsed) -> Result<String, ArgError> {
+    p.ensure_known(&["racks", "nodes", "unit-us", "json"])?;
+    let racks = p.num_or("racks", 3usize)?;
+    let nodes = p.num_or("nodes", 10usize)?;
+    let unit = p.num_or("unit-us", 100u64)?;
+    if racks == 0 || nodes == 0 || unit == 0 {
+        return Err(ArgError::new(
+            "--racks, --nodes and --unit-us must be positive",
+        ));
+    }
+    let topo = generate::uniform(racks, nodes, DistanceTiers::paper_experiment());
+    let matrix = vc_netsim::measure::derive_distance_matrix(
+        &topo,
+        &NetworkParams::default(),
+        SimTime::from_micros(unit),
+    );
+    if p.switch("json") {
+        let rows: Vec<Vec<u32>> = (0..topo.num_nodes())
+            .map(|i| matrix.row(NodeId::from_index(i)).to_vec())
+            .collect();
+        return Ok(serde_json::json!({ "unit_us": unit, "matrix": rows }).to_string());
+    }
+    let mut out = format!(
+        "distance matrix from measured latency ({} nodes, unit {unit}µs):\n",
+        topo.num_nodes()
+    );
+    for i in 0..topo.num_nodes() {
+        let row: Vec<String> = matrix
+            .row(NodeId::from_index(i))
+            .iter()
+            .map(u32::to_string)
+            .collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    Ok(out)
+}

@@ -1,0 +1,241 @@
+//! The `affinity-vc` command-line tool.
+//!
+//! Thin, dependency-free argument handling over the workspace crates.
+//! All commands are pure functions from arguments to an output string
+//! ([`run`]), which keeps the whole surface unit-testable; `main.rs` only
+//! prints the result or the error.
+//!
+//! ```text
+//! affinity-vc place          --request 2,4,1 [--racks 3] [--nodes 10] ...
+//! affinity-vc simulate-job   --spread 2,10,0 [--workload wordcount] ...
+//! affinity-vc simulate-queue --requests 20 [--policy online] ...
+//! affinity-vc derive-distance [--racks 3] [--nodes 10] [--unit-us 100]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Parsed};
+
+/// Entry point: dispatch `argv[1..]` to a subcommand and return its
+/// output text.
+pub fn run(argv: &[String]) -> Result<String, ArgError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Ok(usage());
+    };
+    let parsed = Parsed::parse(rest)?;
+    match command.as_str() {
+        "place" => commands::place(&parsed),
+        "simulate-job" => commands::simulate_job(&parsed),
+        "simulate-queue" => commands::simulate_queue(&parsed),
+        "derive-distance" => commands::derive_distance(&parsed),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(ArgError::new(format!(
+            "unknown command `{other}` — try `affinity-vc help`"
+        ))),
+    }
+}
+
+/// The top-level help text.
+pub fn usage() -> String {
+    "\
+affinity-vc — affinity-aware virtual cluster optimization (CLUSTER 2012)
+
+USAGE:
+    affinity-vc <COMMAND> [OPTIONS]
+
+COMMANDS:
+    place             place one VM request on a simulated cloud
+    simulate-job      run a MapReduce job on a virtual cluster
+    simulate-queue    run a request-queue simulation
+    derive-distance   derive a distance matrix from network latencies
+    help              show this text
+
+COMMON OPTIONS:
+    --racks <N>            racks in the cloud            [default: 3]
+    --nodes <N>            nodes per rack                [default: 10]
+    --capacity <N>         instances per (node, type)    [default: 2]
+    --seed <N>             RNG seed                      [default: 0]
+    --json                 emit JSON instead of text
+
+PLACE OPTIONS:
+    --request a,b,c        VM counts per type (required)
+    --policy <P>           online|exact|ilp|first-fit|best-fit|spread|random
+                           [default: online]
+
+SIMULATE-JOB OPTIONS:
+    --spread a,b,c         VMs on master, same rack, cross rack [default: 2,10,0]
+    --workload <W>         wordcount|wordcount-nocombine|terasort|grep
+                           [default: wordcount]
+    --maps <N>             map tasks                     [default: 32]
+    --reducers <N>         reduce tasks                  [default: 1]
+    --speculative          enable speculative execution
+    --straggler-prob <F>   straggler probability         [default: 0]
+
+SIMULATE-QUEUE OPTIONS:
+    --requests <N>         request count                 [default: 20]
+    --rate <F>             arrivals per second           [default: 0.5]
+    --policy <P>           online|global|spread|first-fit|best-fit|random
+                           [default: online]
+    --trace <FILE>         replay a saved JSON trace instead of generating
+    --save-trace <FILE>    save the generated trace for later replay
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, ArgError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = call(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        for h in ["help", "--help", "-h"] {
+            assert!(call(&[h]).unwrap().contains("COMMANDS"));
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = call(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn place_text_output() {
+        let out = call(&["place", "--request", "2,4,1"]).unwrap();
+        assert!(out.contains("distance"), "{out}");
+        assert!(out.contains("centre"), "{out}");
+    }
+
+    #[test]
+    fn place_json_output() {
+        let out = call(&["place", "--request", "1,0,0", "--json"]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["request"], serde_json::json!([1, 0, 0]));
+        assert!(v["distance"].is_u64());
+    }
+
+    #[test]
+    fn place_rejects_zero_request() {
+        let err = call(&["place", "--request", "0,0,0"]).unwrap_err();
+        assert!(err.to_string().contains("at least one VM"));
+    }
+
+    #[test]
+    fn place_requires_request() {
+        let err = call(&["place"]).unwrap_err();
+        assert!(err.to_string().contains("--request"));
+    }
+
+    #[test]
+    fn place_all_policies() {
+        for p in [
+            "online",
+            "exact",
+            "ilp",
+            "first-fit",
+            "best-fit",
+            "spread",
+            "random",
+        ] {
+            let out = call(&["place", "--request", "2,1,0", "--policy", p]).unwrap();
+            assert!(out.contains("distance"), "{p}: {out}");
+        }
+    }
+
+    #[test]
+    fn place_bad_policy_errors() {
+        let err = call(&["place", "--request", "1,0,0", "--policy", "nope"]).unwrap_err();
+        assert!(err.to_string().contains("policy"));
+    }
+
+    #[test]
+    fn simulate_job_runs() {
+        let out = call(&["simulate-job", "--maps", "8", "--spread", "1,3,0"]).unwrap();
+        assert!(out.contains("runtime"), "{out}");
+        assert!(out.contains("data-local"), "{out}");
+    }
+
+    #[test]
+    fn simulate_job_json() {
+        let out = call(&[
+            "simulate-job",
+            "--maps",
+            "4",
+            "--json",
+            "--workload",
+            "grep",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["num_maps"], serde_json::json!(4));
+    }
+
+    #[test]
+    fn simulate_queue_runs() {
+        let out = call(&["simulate-queue", "--requests", "5", "--policy", "global"]).unwrap();
+        assert!(out.contains("served"), "{out}");
+    }
+
+    #[test]
+    fn derive_distance_matrix_shape() {
+        let out = call(&["derive-distance", "--racks", "2", "--nodes", "2"]).unwrap();
+        // 4 matrix rows plus a header line.
+        assert_eq!(out.lines().count(), 5, "{out}");
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let err = call(&["place", "--request", "1,0,0", "--seed", "abc"]).unwrap_err();
+        assert!(err.to_string().contains("seed"));
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        let err = call(&["place", "--request", "1,0,0", "--bogus", "1"]).unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+}
+
+#[cfg(test)]
+mod trace_cli_tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, ArgError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn save_then_replay_trace() {
+        let path = std::env::temp_dir().join("affinity_vc_cli_trace.json");
+        let path_s = path.to_str().unwrap();
+        let first = call(&["simulate-queue", "--requests", "5", "--save-trace", path_s]).unwrap();
+        let replay = call(&["simulate-queue", "--trace", path_s]).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            first, replay,
+            "replaying the saved trace must reproduce the run"
+        );
+    }
+
+    #[test]
+    fn missing_trace_file_errors() {
+        let err = call(&["simulate-queue", "--trace", "/no/such/file.json"]).unwrap_err();
+        assert!(err.to_string().contains("I/O"));
+    }
+}

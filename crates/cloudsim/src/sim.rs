@@ -1,0 +1,748 @@
+//! The request-queue event loop.
+
+use crate::arrivals::CloudRequest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, VecDeque};
+use vc_des::{Engine, SimTime};
+use vc_mapreduce::engine::SimParams;
+use vc_mapreduce::{JobConfig, VirtualCluster};
+use vc_model::{Allocation, ClusterState};
+use vc_placement::distance::distance_with_center;
+use vc_placement::global::{self, Admission};
+use vc_placement::{PlacementError, PlacementPolicy};
+
+/// How queued requests are served.
+pub enum PolicyMode {
+    /// Serve the queue head with a per-request policy whenever resources
+    /// allow (plain FIFO; this is how Algorithm 1 and all baselines run).
+    Individual(Box<dyn PlacementPolicy>),
+    /// At every arrival/departure run **Algorithm 2** over the whole
+    /// queue: admit a batch, place with Algorithm 1, then apply the
+    /// Theorem-2 exchange pass before committing.
+    GlobalBatch(Admission),
+}
+
+/// Where a served request's holding time comes from.
+#[derive(Debug, Clone, Default)]
+pub enum ServiceModel {
+    /// Use the trace's pre-drawn [`CloudRequest::service_time`].
+    #[default]
+    Trace,
+    /// Close the paper's loop: instantiate the placed allocation as a
+    /// [`VirtualCluster`], run the given MapReduce job on it with the
+    /// `vc-mapreduce` simulator, and hold the VMs for the measured
+    /// runtime. Tighter placements finish sooner and release capacity
+    /// earlier — affinity feeds back into queueing.
+    MapReduce {
+        /// The job every tenant runs.
+        job: JobConfig,
+        /// MapReduce/network simulation parameters.
+        params: SimParams,
+    },
+}
+
+/// Simulation inputs.
+pub struct SimConfig {
+    /// The request trace (see [`crate::arrivals::ArrivalProcess`]).
+    pub requests: Vec<CloudRequest>,
+    /// Placement strategy.
+    pub mode: PolicyMode,
+    /// Holding-time model.
+    pub service: ServiceModel,
+    /// Seed for stochastic placement policies.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Trace-driven service times (the common case).
+    pub fn new(requests: Vec<CloudRequest>, mode: PolicyMode, seed: u64) -> Self {
+        Self {
+            requests,
+            mode,
+            service: ServiceModel::Trace,
+            seed,
+        }
+    }
+
+    /// Replace the holding-time model.
+    pub fn with_service(mut self, service: ServiceModel) -> Self {
+        self.service = service;
+        self
+    }
+}
+
+/// Per-request outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Request id.
+    pub id: u64,
+    /// Cluster distance of the final allocation (after any exchange
+    /// pass), measured from its designated centre. `None` if refused.
+    pub distance: Option<u64>,
+    /// Distance when first placed, before any Theorem-2 exchanges.
+    pub initial_distance: Option<u64>,
+    /// Chosen central node (topology index). `None` if refused.
+    pub center: Option<u32>,
+    /// Physical nodes spanned. `None` if refused.
+    pub span: Option<u32>,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Service start, if served.
+    pub started: Option<SimTime>,
+    /// Service completion, if served.
+    pub finished: Option<SimTime>,
+    /// Whether the request exceeded total capacity and was refused.
+    pub refused: bool,
+    /// Measured MapReduce runtime, when [`ServiceModel::MapReduce`] is in
+    /// effect (equals `finished - started` there).
+    pub job_runtime: Option<SimTime>,
+}
+
+impl RequestOutcome {
+    /// Queueing delay (start − arrival); `None` if never served.
+    pub fn wait(&self) -> Option<SimTime> {
+        self.started.map(|s| s.saturating_sub(self.arrival))
+    }
+}
+
+/// Aggregate results.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Outcomes indexed by request id.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Σ final distances over served requests.
+    pub total_distance: u64,
+    /// Σ initial (pre-exchange) distances over served requests.
+    pub total_initial_distance: u64,
+    /// Served request count.
+    pub served: usize,
+    /// Refused request count.
+    pub refused: usize,
+    /// Mean queueing delay over served requests.
+    pub mean_wait: SimTime,
+    /// Time-weighted average fraction of VM slots in use over the whole
+    /// simulated horizon.
+    pub avg_utilization: f64,
+    /// Peak fraction of VM slots in use.
+    pub peak_utilization: f64,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(usize),
+    Departure(u64),
+}
+
+/// Run the simulation to completion (all arrivals processed, all served
+/// clusters released).
+///
+/// # Panics
+/// Panics if request ids are not dense `0..n` in arrival order.
+pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
+    let SimConfig {
+        requests,
+        mode,
+        service,
+        seed,
+    } = config;
+    for (i, r) in requests.iter().enumerate() {
+        assert_eq!(r.id, i as u64, "request ids must be dense and ordered");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engine = Engine::new();
+    for (i, r) in requests.iter().enumerate() {
+        engine.schedule(r.arrival, Event::Arrival(i));
+    }
+
+    let mut state = state.clone();
+    let topo = state.topology_arc();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut live: BTreeMap<u64, Allocation> = BTreeMap::new();
+    let mut outcomes: Vec<RequestOutcome> = requests
+        .iter()
+        .map(|r| RequestOutcome {
+            id: r.id,
+            distance: None,
+            initial_distance: None,
+            center: None,
+            span: None,
+            arrival: r.arrival,
+            started: None,
+            finished: None,
+            refused: false,
+            job_runtime: None,
+        })
+        .collect();
+
+    // Resolve the holding time for a freshly placed allocation.
+    let hold_time = |req: &CloudRequest,
+                     alloc: &Allocation,
+                     state: &ClusterState|
+     -> (SimTime, Option<SimTime>) {
+        match &service {
+            ServiceModel::Trace => (req.service_time, None),
+            ServiceModel::MapReduce { job, params } => {
+                let cluster =
+                    VirtualCluster::from_allocation(alloc, state.catalog(), state.topology_arc());
+                let metrics = vc_mapreduce::simulate_job(&cluster, job, params);
+                (metrics.runtime, Some(metrics.runtime))
+            }
+        }
+    };
+
+    let serve = |now: SimTime,
+                 queue: &mut VecDeque<usize>,
+                 state: &mut ClusterState,
+                 live: &mut BTreeMap<u64, Allocation>,
+                 outcomes: &mut Vec<RequestOutcome>,
+                 engine: &mut Engine<Event>,
+                 rng: &mut StdRng| {
+        // Drop refused requests from the head pre-emptively.
+        queue.retain(|&idx| {
+            if state.fits_capacity(&requests[idx].request) {
+                true
+            } else {
+                outcomes[idx].refused = true;
+                false
+            }
+        });
+        match &mode {
+            PolicyMode::Individual(policy) => {
+                while let Some(&idx) = queue.front() {
+                    let req = &requests[idx];
+                    match policy.place(&req.request, state, rng) {
+                        Ok(alloc) => {
+                            queue.pop_front();
+                            state
+                                .allocate(&alloc)
+                                .expect("policy produced invalid allocation");
+                            let d = distance_with_center(alloc.matrix(), &topo, alloc.center());
+                            let (hold, job_runtime) = hold_time(req, &alloc, state);
+                            let o = &mut outcomes[idx];
+                            o.distance = Some(d);
+                            o.initial_distance = Some(d);
+                            o.center = Some(alloc.center().0);
+                            o.span = Some(alloc.span() as u32);
+                            o.started = Some(now);
+                            o.finished = Some(now + hold);
+                            o.job_runtime = job_runtime;
+                            engine.schedule(now + hold, Event::Departure(req.id));
+                            live.insert(req.id, alloc);
+                        }
+                        Err(PlacementError::Unsatisfiable { .. }) => break, // FIFO blocks
+                        Err(PlacementError::Refused { .. }) => {
+                            queue.pop_front();
+                            outcomes[idx].refused = true;
+                        }
+                    }
+                }
+            }
+            PolicyMode::GlobalBatch(admission) => {
+                let batch: Vec<_> = queue.iter().map(|&i| requests[i].request.clone()).collect();
+                let placed = global::place_queue(&batch, state, *admission)
+                    .expect("batched placement failed on admitted requests");
+                let mut served_queue_positions: Vec<usize> = Vec::new();
+                for ((pos, alloc), &online_d) in
+                    placed.served.iter().zip(&placed.served_online_distances)
+                {
+                    let idx = queue[*pos];
+                    let req = &requests[idx];
+                    state
+                        .allocate(alloc)
+                        .expect("batch produced invalid allocation");
+                    let d = distance_with_center(alloc.matrix(), &topo, alloc.center());
+                    let (hold, job_runtime) = hold_time(req, alloc, state);
+                    let o = &mut outcomes[idx];
+                    o.distance = Some(d);
+                    o.initial_distance = Some(online_d);
+                    o.center = Some(alloc.center().0);
+                    o.span = Some(alloc.span() as u32);
+                    o.started = Some(now);
+                    o.finished = Some(now + hold);
+                    o.job_runtime = job_runtime;
+                    engine.schedule(now + hold, Event::Departure(req.id));
+                    live.insert(req.id, alloc.clone());
+                    served_queue_positions.push(*pos);
+                }
+                // Remove served entries from the queue (descending positions).
+                served_queue_positions.sort_unstable_by(|a, b| b.cmp(a));
+                for pos in served_queue_positions {
+                    queue.remove(pos);
+                }
+            }
+        }
+    };
+
+    let capacity_total = state.capacity().total();
+    let mut last_time = SimTime::ZERO;
+    let mut used_integral = 0f64; // slot-microseconds
+    let mut peak_used = 0u64;
+    while let Some((now, event)) = engine.pop() {
+        used_integral += state.used().total() as f64 * (now - last_time).as_micros() as f64;
+        last_time = now;
+        match event {
+            Event::Arrival(idx) => {
+                queue.push_back(idx);
+            }
+            Event::Departure(id) => {
+                let alloc = live.remove(&id).expect("departure for unknown allocation");
+                state.release(&alloc).expect("release failed");
+            }
+        }
+        serve(
+            now,
+            &mut queue,
+            &mut state,
+            &mut live,
+            &mut outcomes,
+            &mut engine,
+            &mut rng,
+        );
+        peak_used = peak_used.max(state.used().total());
+    }
+    let horizon = last_time.as_micros() as f64;
+    let avg_utilization = if horizon > 0.0 && capacity_total > 0 {
+        used_integral / (horizon * capacity_total as f64)
+    } else {
+        0.0
+    };
+    let peak_utilization = if capacity_total > 0 {
+        peak_used as f64 / capacity_total as f64
+    } else {
+        0.0
+    };
+
+    let served = outcomes.iter().filter(|o| o.started.is_some()).count();
+    let refused = outcomes.iter().filter(|o| o.refused).count();
+    let total_distance = outcomes.iter().filter_map(|o| o.distance).sum();
+    let total_initial_distance = outcomes.iter().filter_map(|o| o.initial_distance).sum();
+    let total_wait: u64 = outcomes
+        .iter()
+        .filter_map(|o| o.wait())
+        .map(|w| w.as_micros())
+        .sum();
+    let mean_wait = if served > 0 {
+        SimTime::from_micros(total_wait / served as u64)
+    } else {
+        SimTime::ZERO
+    };
+    SimResult {
+        outcomes,
+        total_distance,
+        total_initial_distance,
+        served,
+        refused,
+        mean_wait,
+        avg_utilization,
+        peak_utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{ArrivalProcess, ServiceTime};
+    use std::sync::Arc;
+    use vc_model::workload::RequestProfile;
+    use vc_model::{Request, VmCatalog};
+    use vc_placement::online::OnlineHeuristic;
+    use vc_topology::{generate, DistanceTiers};
+
+    fn state(per_node: u32) -> ClusterState {
+        let topo = Arc::new(generate::uniform(3, 4, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        ClusterState::uniform_capacity(topo, cat, per_node)
+    }
+
+    fn trace(count: usize, seed: u64) -> Vec<CloudRequest> {
+        let p = ArrivalProcess {
+            rate_per_s: 1.0,
+            profile: RequestProfile::standard(),
+            service: ServiceTime::UniformMs(2_000, 8_000),
+        };
+        p.generate(count, 3, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn all_requests_eventually_served() {
+        let s = state(3);
+        let result = run(
+            &s,
+            SimConfig::new(
+                trace(20, 1),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                1,
+            ),
+        );
+        assert_eq!(result.served, 20);
+        assert_eq!(result.refused, 0);
+        for o in &result.outcomes {
+            assert!(o.started.unwrap() >= o.arrival);
+            assert!(o.finished.unwrap() > o.started.unwrap());
+        }
+    }
+
+    #[test]
+    fn resources_fully_released_at_end() {
+        let s = state(2);
+        // Re-run and confirm the *final* state we maintained internally is
+        // clean by checking conservation: run twice gives identical results
+        // (any leak would change queueing).
+        let cfg = || {
+            SimConfig::new(
+                trace(15, 2),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                2,
+            )
+        };
+        let a = run(&s, cfg());
+        let b = run(&s, cfg());
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn contention_produces_waiting() {
+        // Tiny cloud, big requests, long holds: someone must wait.
+        let topo = Arc::new(generate::uniform(1, 2, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        let s = ClusterState::uniform_capacity(topo, cat, 1);
+        let requests = vec![
+            CloudRequest {
+                id: 0,
+                request: Request::from_counts(vec![2, 0, 0]),
+                arrival: SimTime::ZERO,
+                service_time: SimTime::from_secs(100),
+            },
+            CloudRequest {
+                id: 1,
+                request: Request::from_counts(vec![1, 0, 0]),
+                arrival: SimTime::from_secs(1),
+                service_time: SimTime::from_secs(10),
+            },
+        ];
+        let result = run(
+            &s,
+            SimConfig {
+                requests,
+                mode: PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                service: ServiceModel::Trace,
+                seed: 0,
+            },
+        );
+        let second = &result.outcomes[1];
+        assert_eq!(second.started, Some(SimTime::from_secs(100)));
+        assert_eq!(second.wait(), Some(SimTime::from_secs(99)));
+    }
+
+    #[test]
+    fn refused_requests_flagged_not_served() {
+        let topo = Arc::new(generate::uniform(1, 2, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        let s = ClusterState::uniform_capacity(topo, cat, 1);
+        let requests = vec![CloudRequest {
+            id: 0,
+            request: Request::from_counts(vec![99, 0, 0]),
+            arrival: SimTime::ZERO,
+            service_time: SimTime::from_secs(1),
+        }];
+        let result = run(
+            &s,
+            SimConfig {
+                requests,
+                mode: PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                service: ServiceModel::Trace,
+                seed: 0,
+            },
+        );
+        assert_eq!(result.refused, 1);
+        assert_eq!(result.served, 0);
+        assert!(result.outcomes[0].distance.is_none());
+    }
+
+    #[test]
+    fn global_batch_no_worse_than_individual() {
+        let s = state(2);
+        let individual = run(
+            &s,
+            SimConfig::new(
+                trace(20, 7),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                7,
+            ),
+        );
+        let batched = run(
+            &s,
+            SimConfig::new(
+                trace(20, 7),
+                PolicyMode::GlobalBatch(Admission::FifoBlocking),
+                7,
+            ),
+        );
+        assert_eq!(batched.served, individual.served);
+        assert!(
+            batched.total_distance <= batched.total_initial_distance,
+            "exchange pass must not increase distance"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ordered")]
+    fn misordered_ids_rejected() {
+        let s = state(2);
+        let mut requests = trace(3, 1);
+        requests[0].id = 5;
+        let _ = run(
+            &s,
+            SimConfig {
+                requests,
+                mode: PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                service: ServiceModel::Trace,
+                seed: 0,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod mapreduce_service_tests {
+    use super::*;
+    use crate::arrivals::{ArrivalProcess, ServiceTime};
+    use std::sync::Arc;
+    use vc_mapreduce::Workload;
+    use vc_model::workload::RequestProfile;
+    use vc_model::VmCatalog;
+    use vc_placement::baselines::Spread;
+    use vc_placement::online::OnlineHeuristic;
+    use vc_topology::{generate, DistanceTiers};
+
+    fn state() -> ClusterState {
+        let topo = Arc::new(generate::uniform(3, 4, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        ClusterState::uniform_capacity(topo, cat, 2)
+    }
+
+    fn mr_service() -> ServiceModel {
+        ServiceModel::MapReduce {
+            job: JobConfig {
+                workload: Workload::terasort(),
+                input_mb: 8.0 * 64.0,
+                split_mb: 64.0,
+                num_reducers: 2,
+                replication: 2,
+            },
+            params: SimParams::default(),
+        }
+    }
+
+    fn trace(count: usize, seed: u64) -> Vec<CloudRequest> {
+        let p = ArrivalProcess {
+            rate_per_s: 0.5,
+            profile: RequestProfile::standard(),
+            service: ServiceTime::Fixed(SimTime::from_secs(1)), // ignored by MapReduce model
+        };
+        p.generate(count, 3, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn holding_time_is_measured_job_runtime() {
+        let s = state();
+        let result = run(
+            &s,
+            SimConfig::new(
+                trace(6, 3),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                3,
+            )
+            .with_service(mr_service()),
+        );
+        assert_eq!(result.served, 6);
+        for o in &result.outcomes {
+            let runtime = o.job_runtime.expect("MapReduce model records runtime");
+            assert!(
+                runtime > SimTime::from_secs(1),
+                "jobs take real time: {runtime}"
+            );
+            assert_eq!(o.finished.unwrap() - o.started.unwrap(), runtime);
+        }
+    }
+
+    #[test]
+    fn affinity_aware_jobs_no_slower_than_spread() {
+        let s = state();
+        let online = run(
+            &s,
+            SimConfig::new(
+                trace(8, 5),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                5,
+            )
+            .with_service(mr_service()),
+        );
+        let spread = run(
+            &s,
+            SimConfig::new(trace(8, 5), PolicyMode::Individual(Box::new(Spread)), 5)
+                .with_service(mr_service()),
+        );
+        let total = |r: &SimResult| -> u64 {
+            r.outcomes
+                .iter()
+                .filter_map(|o| o.job_runtime)
+                .map(|t| t.as_micros())
+                .sum()
+        };
+        assert!(
+            total(&online) <= total(&spread),
+            "affinity-aware total job time {} must not exceed spread {}",
+            total(&online),
+            total(&spread)
+        );
+    }
+
+    #[test]
+    fn trace_model_ignores_job_runtime() {
+        let s = state();
+        let result = run(
+            &s,
+            SimConfig::new(
+                trace(3, 1),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                1,
+            ),
+        );
+        assert!(result.outcomes.iter().all(|o| o.job_runtime.is_none()));
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+    use crate::arrivals::CloudRequest;
+    use std::sync::Arc;
+    use vc_model::{Request, VmCatalog};
+    use vc_placement::online::OnlineHeuristic;
+    use vc_topology::{generate, DistanceTiers};
+
+    #[test]
+    fn utilization_tracks_occupancy() {
+        // One request occupying half the cloud for the whole horizon.
+        let topo = Arc::new(generate::uniform(1, 2, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        let s = ClusterState::uniform_capacity(topo, cat, 1); // 6 slots
+        let requests = vec![CloudRequest {
+            id: 0,
+            request: Request::from_counts(vec![1, 1, 1]),
+            arrival: SimTime::ZERO,
+            service_time: SimTime::from_secs(100),
+        }];
+        let result = run(
+            &s,
+            SimConfig::new(
+                requests,
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                0,
+            ),
+        );
+        // 3 of 6 slots for ~the whole horizon.
+        assert!(
+            (result.avg_utilization - 0.5).abs() < 0.01,
+            "{}",
+            result.avg_utilization
+        );
+        assert!((result.peak_utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_zero_utilization() {
+        let topo = Arc::new(generate::uniform(1, 2, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        let s = ClusterState::uniform_capacity(topo, cat, 1);
+        let result = run(
+            &s,
+            SimConfig::new(vec![], PolicyMode::Individual(Box::new(OnlineHeuristic)), 0),
+        );
+        assert_eq!(result.avg_utilization, 0.0);
+        assert_eq!(result.peak_utilization, 0.0);
+        assert_eq!(result.served, 0);
+    }
+}
+
+/// Provider revenue for a completed simulation: Σ over served requests of
+/// the pro-rated holding cost (micro-dollars). Pass the same trace the
+/// simulation ran on.
+///
+/// # Panics
+/// Panics if `trace` and `outcomes` are not the same run (lengths differ).
+pub fn total_revenue(
+    trace: &[CloudRequest],
+    outcomes: &[RequestOutcome],
+    prices: &vc_model::PriceList,
+) -> u64 {
+    assert_eq!(trace.len(), outcomes.len(), "trace/outcome mismatch");
+    trace
+        .iter()
+        .zip(outcomes)
+        .filter_map(|(req, o)| {
+            let (start, end) = (o.started?, o.finished?);
+            Some(prices.cost(&req.request, end - start))
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod revenue_tests {
+    use super::*;
+    use crate::arrivals::CloudRequest;
+    use std::sync::Arc;
+    use vc_model::{PriceList, Request, VmCatalog};
+    use vc_placement::online::OnlineHeuristic;
+    use vc_topology::{generate, DistanceTiers};
+
+    #[test]
+    fn revenue_matches_holding_costs() {
+        let topo = Arc::new(generate::uniform(1, 2, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        let s = ClusterState::uniform_capacity(topo, cat, 2);
+        let trace = vec![CloudRequest {
+            id: 0,
+            request: Request::from_counts(vec![1, 0, 0]),
+            arrival: SimTime::ZERO,
+            service_time: SimTime::from_secs(3600),
+        }];
+        let result = run(
+            &s,
+            SimConfig::new(
+                trace.clone(),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                0,
+            ),
+        );
+        let revenue = total_revenue(&trace, &result.outcomes, &PriceList::ec2_2012());
+        assert_eq!(revenue, 80_000); // one small instance for one hour
+    }
+
+    #[test]
+    fn refused_requests_earn_nothing() {
+        let topo = Arc::new(generate::uniform(1, 2, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        let s = ClusterState::uniform_capacity(topo, cat, 1);
+        let trace = vec![CloudRequest {
+            id: 0,
+            request: Request::from_counts(vec![50, 0, 0]),
+            arrival: SimTime::ZERO,
+            service_time: SimTime::from_secs(3600),
+        }];
+        let result = run(
+            &s,
+            SimConfig::new(
+                trace.clone(),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                0,
+            ),
+        );
+        assert_eq!(
+            total_revenue(&trace, &result.outcomes, &PriceList::ec2_2012()),
+            0
+        );
+    }
+}

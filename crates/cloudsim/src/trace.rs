@@ -1,0 +1,115 @@
+//! Saving and loading request traces as JSON, so experiments can be
+//! replayed byte-for-byte across machines and CLI runs.
+
+use crate::arrivals::CloudRequest;
+use std::fmt;
+use std::path::Path;
+
+/// Trace serialisation/IO failure.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON or schema mismatch.
+    Format(serde_json::Error),
+    /// Ids are not dense `0..n` in order (the simulator requires it).
+    BadIds,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "trace I/O error: {e}"),
+            Self::Format(e) => write!(f, "trace format error: {e}"),
+            Self::BadIds => write!(f, "trace request ids must be dense 0..n in arrival order"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Format(e)
+    }
+}
+
+/// Serialise a trace to pretty JSON.
+pub fn to_json(trace: &[CloudRequest]) -> String {
+    serde_json::to_string_pretty(trace).expect("traces are plain data")
+}
+
+/// Parse a trace from JSON, validating dense ordered ids.
+pub fn from_json(json: &str) -> Result<Vec<CloudRequest>, TraceError> {
+    let trace: Vec<CloudRequest> = serde_json::from_str(json)?;
+    for (i, r) in trace.iter().enumerate() {
+        if r.id != i as u64 {
+            return Err(TraceError::BadIds);
+        }
+    }
+    Ok(trace)
+}
+
+/// Write a trace to a file.
+pub fn save(trace: &[CloudRequest], path: impl AsRef<Path>) -> Result<(), TraceError> {
+    std::fs::write(path, to_json(trace))?;
+    Ok(())
+}
+
+/// Read a trace from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<CloudRequest>, TraceError> {
+    from_json(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalProcess;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Vec<CloudRequest> {
+        ArrivalProcess::paper_standard().generate(5, 3, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let trace = sample();
+        let json = to_json(&trace);
+        let back = from_json(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = sample();
+        let path = std::env::temp_dir().join("affinity_vc_trace_test.json");
+        save(&trace, &path).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn bad_ids_rejected() {
+        let mut trace = sample();
+        trace[0].id = 7;
+        let json = to_json(&trace);
+        assert!(matches!(from_json(&json), Err(TraceError::BadIds)));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(matches!(from_json("not json"), Err(TraceError::Format(_))));
+        assert!(matches!(
+            load("/nonexistent/path/trace.json"),
+            Err(TraceError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,214 @@
+//! The event queue / clock.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A future event: ordered by `(time, sequence)` so simultaneous events
+/// dequeue in the order they were scheduled.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A discrete-event engine: a clock plus a pending-event queue.
+///
+/// The caller drives the main loop:
+///
+/// ```
+/// # use vc_des::{Engine, SimTime};
+/// let mut engine: Engine<u32> = Engine::new();
+/// engine.schedule_after(SimTime::from_millis(1), 42);
+/// while let Some((now, event)) = engine.pop() {
+///     // handle `event`, possibly calling engine.schedule(...)
+///     # let _ = (now, event);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+}
+
+impl<E> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at time zero with no pending events.
+    pub fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events handed out so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — time travel is a simulation bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Schedule `event` after a delay relative to the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Remove and return the earliest pending event, advancing the clock
+    /// to its timestamp. `None` when the queue is drained.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any, without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every pending event (e.g. on simulation abort).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_micros(30), "c");
+        e.schedule(SimTime::from_micros(10), "a");
+        e.schedule(SimTime::from_micros(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, ev)| ev).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(e.now(), SimTime::from_micros(30));
+        assert_eq!(e.events_processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut e = Engine::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            e.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, ev)| ev).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_micros(100), ());
+        e.pop().unwrap();
+        e.schedule_after(SimTime::from_micros(50), ());
+        assert_eq!(e.peek_time(), Some(SimTime::from_micros(150)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_micros(10), ());
+        e.pop().unwrap();
+        e.schedule(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn len_empty_clear() {
+        let mut e: Engine<u8> = Engine::default();
+        assert!(e.is_empty());
+        e.schedule(SimTime::from_micros(1), 1);
+        e.schedule(SimTime::from_micros(2), 2);
+        assert_eq!(e.len(), 2);
+        e.clear();
+        assert!(e.is_empty());
+        assert_eq!(e.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        // A chain: each event schedules the next; clock must advance
+        // monotonically and deterministically.
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_micros(1), 0u32);
+        let mut seen = vec![];
+        while let Some((t, ev)) = e.pop() {
+            seen.push((t.as_micros(), ev));
+            if ev < 3 {
+                e.schedule_after(SimTime::from_micros(10), ev + 1);
+            }
+        }
+        assert_eq!(seen, vec![(1, 0), (11, 1), (21, 2), (31, 3)]);
+    }
+}

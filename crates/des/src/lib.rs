@@ -1,0 +1,35 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! Shared by the network, MapReduce, and cloud simulators. Design goals:
+//!
+//! * **Integer time** — [`SimTime`] is `u64` microseconds, so identical
+//!   runs produce bit-identical schedules (no float drift);
+//! * **Stable ordering** — events at equal times dequeue in insertion
+//!   order (a `(time, sequence)` key), so simulations are reproducible
+//!   regardless of `BinaryHeap` internals;
+//! * **Pop-based main loop** — [`Engine::pop`] hands `(time, event)` back
+//!   to the caller, which may schedule further events between pops; this
+//!   sidesteps callback-borrow contortions and keeps the kernel tiny.
+//!
+//! ```
+//! use vc_des::{Engine, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule(SimTime::from_millis(5), Ev::Ping(1));
+//! engine.schedule(SimTime::from_millis(2), Ev::Ping(2));
+//! let (t, ev) = engine.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_millis(2), Ev::Ping(2)));
+//! assert_eq!(engine.now(), SimTime::from_millis(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod time;
+
+pub use engine::Engine;
+pub use time::SimTime;

@@ -1,0 +1,153 @@
+//! Branch & bound over the integer variables.
+//!
+//! Each node is a set of variable-bound overrides layered on the base
+//! problem; the LP relaxation provides the node bound. Branching picks the
+//! integer variable whose relaxation value is closest to `.5`
+//! (most-fractional) and splits into `x ≤ ⌊v⌋` / `x ≥ ⌈v⌉` children,
+//! explored depth-first (floor child first) so an incumbent is found
+//! quickly and deeper nodes prune.
+
+use crate::error::SolveError;
+use crate::problem::{Problem, Sense, VarKind};
+use crate::simplex::solve_lp;
+use crate::solution::Solution;
+use crate::{EPS, INT_TOL};
+
+/// Default branch-and-bound node budget — far above anything the paper's
+/// instances need (they solve in tens of nodes).
+pub(crate) const DEFAULT_NODE_LIMIT: usize = 200_000;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// `(var_index, lower, upper)` overrides accumulated along the path.
+    overrides: Vec<(usize, f64, f64)>,
+}
+
+pub(crate) fn solve_mip(problem: &Problem, node_limit: usize) -> Result<Solution, SolveError> {
+    let int_vars: Vec<usize> = problem
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(i, _)| i)
+        .collect();
+
+    // `better(a, b)`: is objective `a` strictly better than `b`?
+    let better = |a: f64, b: f64| match problem.sense {
+        Sense::Minimize => a < b - EPS,
+        Sense::Maximize => a > b + EPS,
+    };
+    // Can a node with relaxation bound `bound` still beat `incumbent`?
+    let promising = |bound: f64, incumbent: f64| match problem.sense {
+        Sense::Minimize => bound < incumbent - EPS,
+        Sense::Maximize => bound > incumbent + EPS,
+    };
+
+    let mut stack = vec![Node {
+        overrides: Vec::new(),
+    }];
+    let mut incumbent: Option<Solution> = None;
+    let mut nodes = 0usize;
+
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > node_limit {
+            return Err(SolveError::NodeLimit(node_limit));
+        }
+
+        let relaxed = match solve_lp(problem, &node.overrides) {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+
+        if let Some(ref inc) = incumbent {
+            if !promising(relaxed.objective(), inc.objective()) {
+                continue;
+            }
+        }
+
+        // Most-fractional integer variable.
+        let fractional = int_vars
+            .iter()
+            .map(|&i| {
+                let v = relaxed.value_at(i);
+                let frac = (v - v.round()).abs();
+                (i, v, frac)
+            })
+            .filter(|&(_, _, frac)| frac > INT_TOL)
+            .max_by(|a, b| a.2.total_cmp(&b.2));
+
+        match fractional {
+            None => {
+                // Integral: candidate incumbent (snap near-integers).
+                let snapped = relaxed.snap_integers(&int_vars);
+                match incumbent {
+                    Some(ref inc) if !better(snapped.objective(), inc.objective()) => {}
+                    _ => incumbent = Some(snapped),
+                }
+            }
+            Some((var, value, _)) => {
+                let floor = value.floor();
+                // Push ceil child first so the floor child is explored
+                // first (LIFO) — a mild "round down" preference.
+                let mut up = node.overrides.clone();
+                up.push((var, floor + 1.0, f64::INFINITY));
+                stack.push(Node { overrides: up });
+                let mut down = node.overrides;
+                down.push((var, f64::NEG_INFINITY, floor));
+                stack.push(Node { overrides: down });
+            }
+        }
+    }
+
+    incumbent.ok_or(SolveError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem};
+
+    #[test]
+    fn node_limit_enforced() {
+        // A MIP that needs at least a few nodes, with budget 1.
+        let mut p = Problem::maximize();
+        let x = p.add_int_var(0.0, f64::INFINITY, 1.0);
+        let y = p.add_int_var(0.0, f64::INFINITY, 1.0);
+        p.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Le, 3.0);
+        let err = p.solve_with_node_limit(1).unwrap_err();
+        assert_eq!(err, SolveError::NodeLimit(1));
+    }
+
+    #[test]
+    fn integral_relaxation_skips_branching() {
+        let mut p = Problem::minimize();
+        let x = p.add_int_var(0.0, 10.0, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 4.0);
+        let sol = p.solve_with_node_limit(1).unwrap(); // one node suffices
+        assert_eq!(sol.int_value(x), 4);
+    }
+
+    #[test]
+    fn bound_propagation_via_overrides() {
+        // maximize x: 0 <= x <= 9.5, x integer -> 9
+        let mut p = Problem::maximize();
+        let x = p.add_int_var(0.0, 9.5, 1.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.int_value(x), 9);
+    }
+
+    #[test]
+    fn minimize_vs_maximize_incumbent_direction() {
+        let mut p = Problem::minimize();
+        let x = p.add_int_var(0.0, 5.0, 1.0);
+        p.add_constraint(vec![(x, 2.0)], Cmp::Ge, 3.0);
+        assert_eq!(p.solve().unwrap().int_value(x), 2);
+
+        let mut p = Problem::maximize();
+        let x = p.add_int_var(0.0, 5.0, 1.0);
+        p.add_constraint(vec![(x, 2.0)], Cmp::Le, 7.0);
+        assert_eq!(p.solve().unwrap().int_value(x), 3);
+    }
+}

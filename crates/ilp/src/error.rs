@@ -1,0 +1,50 @@
+//! Solver failure modes.
+
+use std::fmt;
+
+/// Why the solver could not return an optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// No assignment satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective can be improved without limit.
+    Unbounded,
+    /// The simplex hit its iteration cap (pathological cycling/instability).
+    IterationLimit,
+    /// Branch & bound exhausted its node budget before proving optimality.
+    NodeLimit(usize),
+    /// Numerical breakdown (e.g. a phase-1 subproblem reported unbounded,
+    /// which is mathematically impossible and indicates conditioning
+    /// problems).
+    NumericalTrouble,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible => write!(f, "problem is infeasible"),
+            Self::Unbounded => write!(f, "problem is unbounded"),
+            Self::IterationLimit => write!(f, "simplex iteration limit reached"),
+            Self::NodeLimit(n) => write!(f, "branch-and-bound node limit ({n}) reached"),
+            Self::NumericalTrouble => write!(f, "numerical trouble in simplex"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
+        assert_eq!(SolveError::Unbounded.to_string(), "problem is unbounded");
+        assert!(SolveError::NodeLimit(7).to_string().contains('7'));
+        assert!(SolveError::IterationLimit.to_string().contains("iteration"));
+        assert!(SolveError::NumericalTrouble
+            .to_string()
+            .contains("numerical"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Two-phase primal simplex on a dense tableau.
+//!
+//! The solver works on the standard form `min c·y, A·y = b, y ≥ 0, b ≥ 0`
+//! obtained by shifting variables to zero lower bounds, turning finite
+//! upper bounds into rows, adding slack/surplus columns, and adding
+//! artificial columns for `=`/`≥` rows. Phase 1 minimises the artificial
+//! sum to find a basic feasible solution; phase 2 optimises the real
+//! objective with artificial columns barred from entering the basis.
+//!
+//! Pricing is Dantzig (most negative reduced cost); after a large number
+//! of iterations the solver switches to Bland's rule, which guarantees
+//! termination on degenerate problems.
+
+// Index-based loops mirror the textbook matrix formulations here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::SolveError;
+use crate::problem::{Cmp, Problem, Sense};
+use crate::solution::Solution;
+use crate::EPS;
+
+/// Pivot tolerance: entries smaller than this are treated as zero.
+const PIVOT_TOL: f64 = 1e-9;
+/// Phase-1 objective above this is declared infeasible.
+const FEAS_TOL: f64 = 1e-7;
+
+/// Solve the LP relaxation of `problem`, with per-variable bound overrides
+/// `(var_index, lower, upper)` applied on top (used by branch & bound).
+pub(crate) fn solve_lp(
+    problem: &Problem,
+    bound_overrides: &[(usize, f64, f64)],
+) -> Result<Solution, SolveError> {
+    let nv = problem.vars.len();
+
+    // Effective bounds.
+    let mut lower: Vec<f64> = problem.vars.iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = problem.vars.iter().map(|v| v.upper).collect();
+    for &(i, lo, up) in bound_overrides {
+        lower[i] = lower[i].max(lo);
+        upper[i] = upper[i].min(up);
+    }
+    for i in 0..nv {
+        if lower[i] > upper[i] + EPS {
+            return Err(SolveError::Infeasible);
+        }
+    }
+
+    // Minimisation costs over the *shifted* variables y = x - lower.
+    let flip = match problem.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let costs: Vec<f64> = problem.vars.iter().map(|v| flip * v.cost).collect();
+
+    // Assemble rows: user constraints (shifted rhs), then upper-bound rows.
+    struct Row {
+        coeffs: Vec<f64>, // dense over structural vars
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(problem.constraints.len() + nv);
+    for c in &problem.constraints {
+        let mut coeffs = vec![0.0; nv];
+        let mut shift = 0.0;
+        for &(v, a) in &c.terms {
+            coeffs[v.index()] += a;
+            shift += a * lower[v.index()];
+        }
+        rows.push(Row {
+            coeffs,
+            cmp: c.cmp,
+            rhs: c.rhs - shift,
+        });
+    }
+    for i in 0..nv {
+        if upper[i].is_finite() && upper[i] > lower[i] + EPS {
+            let mut coeffs = vec![0.0; nv];
+            coeffs[i] = 1.0;
+            rows.push(Row {
+                coeffs,
+                cmp: Cmp::Le,
+                rhs: upper[i] - lower[i],
+            });
+        } else if upper[i].is_finite() {
+            // Fixed variable: y_i = upper - lower (possibly 0).
+            let mut coeffs = vec![0.0; nv];
+            coeffs[i] = 1.0;
+            rows.push(Row {
+                coeffs,
+                cmp: Cmp::Eq,
+                rhs: upper[i] - lower[i],
+            });
+        }
+    }
+
+    // Normalise rhs >= 0.
+    for r in &mut rows {
+        if r.rhs < 0.0 {
+            r.rhs = -r.rhs;
+            for a in &mut r.coeffs {
+                *a = -*a;
+            }
+            r.cmp = match r.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Eq => Cmp::Eq,
+                Cmp::Ge => Cmp::Le,
+            };
+        }
+    }
+
+    // Column layout: structural | slack/surplus | artificial | rhs.
+    let m = rows.len();
+    let num_slack = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+    let num_art = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+    let slack0 = nv;
+    let art0 = nv + num_slack;
+    let ncols = nv + num_slack + num_art;
+
+    let mut tableau: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    let mut next_slack = slack0;
+    let mut next_art = art0;
+    for r in &rows {
+        let mut t = vec![0.0; ncols + 1];
+        t[..nv].copy_from_slice(&r.coeffs);
+        t[ncols] = r.rhs;
+        match r.cmp {
+            Cmp::Le => {
+                t[next_slack] = 1.0;
+                basis.push(next_slack);
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                t[next_slack] = -1.0;
+                next_slack += 1;
+                t[next_art] = 1.0;
+                basis.push(next_art);
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                t[next_art] = 1.0;
+                basis.push(next_art);
+                next_art += 1;
+            }
+        }
+        tableau.push(t);
+    }
+
+    let is_artificial = |col: usize| col >= art0;
+    let iter_limit = 2000 + 200 * (m + ncols);
+
+    // ---- Phase 1: minimise the sum of artificials. ----
+    if num_art > 0 {
+        let mut phase1_costs = vec![0.0; ncols];
+        for c in art0..ncols {
+            phase1_costs[c] = 1.0;
+        }
+        let mut obj = build_objective_row(&tableau, &basis, &phase1_costs, ncols);
+        run_simplex(
+            &mut tableau,
+            &mut basis,
+            &mut obj,
+            ncols,
+            iter_limit,
+            |_| true,
+        )
+        .map_err(|e| match e {
+            // A phase-1 problem is never unbounded (objective >= 0).
+            SolveError::Unbounded => SolveError::NumericalTrouble,
+            other => other,
+        })?;
+        let phase1_value = -obj[ncols];
+        if phase1_value > FEAS_TOL {
+            return Err(SolveError::Infeasible);
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for row in 0..m {
+            if is_artificial(basis[row]) {
+                if let Some(col) = (0..art0).find(|&c| tableau[row][c].abs() > PIVOT_TOL) {
+                    pivot(&mut tableau, &mut basis, None, row, col);
+                } // else: redundant row; its artificial stays basic at 0.
+            }
+        }
+    }
+
+    // ---- Phase 2: minimise the real objective. ----
+    let mut phase2_costs = vec![0.0; ncols];
+    phase2_costs[..nv].copy_from_slice(&costs);
+    let mut obj = build_objective_row(&tableau, &basis, &phase2_costs, ncols);
+    run_simplex(&mut tableau, &mut basis, &mut obj, ncols, iter_limit, |c| {
+        !is_artificial(c)
+    })?;
+
+    // Extract the solution (shift back).
+    let mut values = lower;
+    for row in 0..m {
+        let col = basis[row];
+        if col < nv {
+            values[col] += tableau[row][ncols];
+        }
+    }
+    let objective: f64 = problem
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v.cost * values[i])
+        .sum();
+    Ok(Solution::new(values, objective))
+}
+
+/// Reduced-cost row `[c̄_0 … c̄_{ncols-1} | -objective]` for the given
+/// basis, built by eliminating the basic columns from the raw cost row.
+fn build_objective_row(
+    tableau: &[Vec<f64>],
+    basis: &[usize],
+    costs: &[f64],
+    ncols: usize,
+) -> Vec<f64> {
+    let mut obj = vec![0.0; ncols + 1];
+    obj[..ncols].copy_from_slice(costs);
+    for (row, &bcol) in basis.iter().enumerate() {
+        let c = obj[bcol];
+        if c != 0.0 {
+            for j in 0..=ncols {
+                obj[j] -= c * tableau[row][j];
+            }
+        }
+    }
+    obj
+}
+
+/// Run simplex iterations until optimal, unbounded, or the iteration limit.
+///
+/// `allowed` filters columns that may enter the basis (used to bar
+/// artificial columns in phase 2).
+fn run_simplex(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut Vec<f64>,
+    ncols: usize,
+    iter_limit: usize,
+    allowed: impl Fn(usize) -> bool,
+) -> Result<(), SolveError> {
+    let m = tableau.len();
+    let bland_after = iter_limit / 2;
+    for iter in 0..iter_limit {
+        let use_bland = iter >= bland_after;
+
+        // Entering column.
+        let entering = if use_bland {
+            (0..ncols).find(|&j| allowed(j) && obj[j] < -EPS)
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..ncols {
+                if allowed(j) && obj[j] < -EPS && best.is_none_or(|(_, v)| obj[j] < v) {
+                    best = Some((j, obj[j]));
+                }
+            }
+            best.map(|(j, _)| j)
+        };
+        let Some(col) = entering else {
+            return Ok(()); // optimal
+        };
+
+        // Ratio test for the leaving row.
+        let mut leave: Option<(usize, f64)> = None;
+        for row in 0..m {
+            let a = tableau[row][col];
+            if a > PIVOT_TOL {
+                let ratio = tableau[row][ncols] / a;
+                let better = match leave {
+                    None => true,
+                    Some((lrow, lratio)) => {
+                        ratio < lratio - EPS || (ratio < lratio + EPS && basis[row] < basis[lrow])
+                    }
+                };
+                if better {
+                    leave = Some((row, ratio));
+                }
+            }
+        }
+        let Some((row, _)) = leave else {
+            return Err(SolveError::Unbounded);
+        };
+        pivot(tableau, basis, Some(obj), row, col);
+    }
+    Err(SolveError::IterationLimit)
+}
+
+/// Pivot on `(row, col)`: scale the pivot row and eliminate the column
+/// from every other row (and the objective row, when given).
+fn pivot(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: Option<&mut Vec<f64>>,
+    row: usize,
+    col: usize,
+) {
+    let ncols = tableau[row].len() - 1;
+    let p = tableau[row][col];
+    debug_assert!(p.abs() > PIVOT_TOL, "pivot on (near-)zero element");
+    for j in 0..=ncols {
+        tableau[row][j] /= p;
+    }
+    for r in 0..tableau.len() {
+        if r != row {
+            let f = tableau[r][col];
+            if f != 0.0 {
+                for j in 0..=ncols {
+                    tableau[r][j] -= f * tableau[row][j];
+                }
+            }
+        }
+    }
+    if let Some(obj) = obj {
+        let f = obj[col];
+        if f != 0.0 {
+            for j in 0..=ncols {
+                obj[j] -= f * tableau[row][j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    #[test]
+    fn fixed_variable_handled() {
+        // x fixed to 3 by equal bounds.
+        let mut p = Problem::minimize();
+        let x = p.add_var(3.0, 3.0, 2.0);
+        let sol = solve_lp(&p, &[]).unwrap();
+        assert!((sol.value(x) - 3.0).abs() < 1e-9);
+        assert!((sol.objective() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_overrides_tighten() {
+        let mut p = Problem::maximize();
+        let x = p.add_var(0.0, 10.0, 1.0);
+        let loose = solve_lp(&p, &[]).unwrap();
+        assert!((loose.value(x) - 10.0).abs() < 1e-9);
+        let tight = solve_lp(&p, &[(x.index(), 0.0, 4.0)]).unwrap();
+        assert!((tight.value(x) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflicting_overrides_infeasible() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(0.0, 10.0, 1.0);
+        let err = solve_lp(&p, &[(x.index(), 5.0, 2.0)]).unwrap_err();
+        assert_eq!(err, SolveError::Infeasible);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 twice (redundant artificial row stays basic at 0).
+        let mut p = Problem::minimize();
+        let x = p.add_var(0.0, f64::INFINITY, 1.0);
+        let y = p.add_var(0.0, f64::INFINITY, 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], crate::Cmp::Eq, 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], crate::Cmp::Eq, 2.0);
+        let sol = solve_lp(&p, &[]).unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-6);
+        assert!((sol.objective() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_constraints_sits_at_bounds() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(1.0, 5.0, 1.0); // wants its lower bound
+        let y = p.add_var(1.0, 5.0, -1.0); // wants its upper bound
+        let sol = solve_lp(&p, &[]).unwrap();
+        assert!((sol.value(x) - 1.0).abs() < 1e-9);
+        assert!((sol.value(y) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the MILP solver: cross-validate against exhaustive
+//! enumeration on small random integer programs.
+
+use proptest::prelude::*;
+use vc_ilp::{Cmp, Problem, SolveError};
+
+/// A random bounded integer program:
+/// `max/min c·x, A x ≤ b, 0 ≤ x ≤ ub, x integer`, 2–3 vars, 1–3 rows.
+#[derive(Debug, Clone)]
+struct SmallIp {
+    maximize: bool,
+    costs: Vec<i32>,
+    ubs: Vec<u32>,
+    rows: Vec<(Vec<i32>, i64)>,
+}
+
+fn small_ip() -> impl Strategy<Value = SmallIp> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(-5i32..=5, 2..=3),
+        proptest::collection::vec(1u32..=4, 2..=3),
+        proptest::collection::vec((proptest::collection::vec(-3i32..=4, 3), 0i64..=20), 1..=3),
+    )
+        .prop_map(|(maximize, costs, mut ubs, rows)| {
+            let n = costs.len();
+            ubs.truncate(n);
+            while ubs.len() < n {
+                ubs.push(2);
+            }
+            let rows = rows
+                .into_iter()
+                .map(|(mut coeffs, rhs)| {
+                    coeffs.truncate(n);
+                    while coeffs.len() < n {
+                        coeffs.push(0);
+                    }
+                    (coeffs, rhs)
+                })
+                .collect();
+            SmallIp {
+                maximize,
+                costs,
+                ubs,
+                rows,
+            }
+        })
+}
+
+/// Exhaustive optimum by enumerating the (tiny) box.
+fn brute(ip: &SmallIp) -> Option<f64> {
+    let n = ip.costs.len();
+    let mut best: Option<f64> = None;
+    let mut x = vec![0u32; n];
+    loop {
+        // feasibility
+        let ok = ip.rows.iter().all(|(coeffs, rhs)| {
+            let lhs: i64 = coeffs
+                .iter()
+                .zip(&x)
+                .map(|(&c, &v)| i64::from(c) * i64::from(v))
+                .sum();
+            lhs <= *rhs
+        });
+        if ok {
+            let obj: f64 = ip
+                .costs
+                .iter()
+                .zip(&x)
+                .map(|(&c, &v)| f64::from(c) * f64::from(v))
+                .sum();
+            best = Some(match best {
+                None => obj,
+                Some(b) => {
+                    if ip.maximize {
+                        b.max(obj)
+                    } else {
+                        b.min(obj)
+                    }
+                }
+            });
+        }
+        // odometer
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            x[i] += 1;
+            if x[i] <= ip.ubs[i] {
+                break;
+            }
+            x[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn solve_with_milp(ip: &SmallIp) -> Result<f64, SolveError> {
+    let mut p = if ip.maximize {
+        Problem::maximize()
+    } else {
+        Problem::minimize()
+    };
+    let vars: Vec<_> = ip
+        .costs
+        .iter()
+        .zip(&ip.ubs)
+        .map(|(&c, &ub)| p.add_int_var(0.0, f64::from(ub), f64::from(c)))
+        .collect();
+    for (coeffs, rhs) in &ip.rows {
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(coeffs)
+            .map(|(&v, &c)| (v, f64::from(c)))
+            .collect();
+        p.add_constraint(terms, Cmp::Le, *rhs as f64);
+    }
+    p.solve().map(|s| s.objective())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn milp_matches_enumeration(ip in small_ip()) {
+        let expected = brute(&ip);
+        match (solve_with_milp(&ip), expected) {
+            (Ok(got), Some(want)) => {
+                prop_assert!((got - want).abs() < 1e-6, "solver {got} vs brute {want} on {ip:?}");
+            }
+            (Err(SolveError::Infeasible), None) => {}
+            // x = 0 is always within bounds, so infeasibility can only come
+            // from the rows; enumeration and solver must agree.
+            (got, want) => prop_assert!(false, "disagreement: {got:?} vs {want:?} on {ip:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_the_integer_optimum(ip in small_ip()) {
+        let (Ok(relaxed), Ok(integral)) = ({
+            let mut p = if ip.maximize { Problem::maximize() } else { Problem::minimize() };
+            let vars: Vec<_> = ip.costs.iter().zip(&ip.ubs)
+                .map(|(&c, &ub)| p.add_int_var(0.0, f64::from(ub), f64::from(c)))
+                .collect();
+            for (coeffs, rhs) in &ip.rows {
+                let terms: Vec<_> = vars.iter().zip(coeffs)
+                    .map(|(&v, &c)| (v, f64::from(c))).collect();
+                p.add_constraint(terms, Cmp::Le, *rhs as f64);
+            }
+            (p.solve_relaxation().map(|s| s.objective()), p.solve().map(|s| s.objective()))
+        }) else {
+            return Ok(());
+        };
+        if ip.maximize {
+            prop_assert!(relaxed >= integral - 1e-6);
+        } else {
+            prop_assert!(relaxed <= integral + 1e-6);
+        }
+    }
+}

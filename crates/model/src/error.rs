@@ -1,0 +1,94 @@
+//! Errors for resource accounting.
+
+use crate::Request;
+use std::fmt;
+use vc_topology::NodeId;
+
+/// Errors raised by [`ClusterState`](crate::ClusterState) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The request asks for more of some type than the cloud's *total*
+    /// capacity `M` — the paper refuses such requests outright.
+    ExceedsCapacity {
+        /// The offending request.
+        request: Request,
+        /// Total capacity per type.
+        capacity: Request,
+    },
+    /// The request asks for more of some type than is *currently* available
+    /// (`R_j > A_j`) — the paper queues such requests.
+    InsufficientAvailability {
+        /// The offending request.
+        request: Request,
+        /// Availability per type.
+        available: Request,
+    },
+    /// An allocation would push a node past its remaining capacity.
+    NodeOverCommit {
+        /// The over-committed node.
+        node: NodeId,
+    },
+    /// A release does not match what is currently allocated.
+    ReleaseMismatch {
+        /// The node whose allocation would underflow.
+        node: NodeId,
+    },
+    /// Matrix/vector dimensions disagree with the cluster's `n × m`.
+    DimensionMismatch,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ExceedsCapacity { request, capacity } => {
+                write!(f, "request {request} exceeds total capacity {capacity}")
+            }
+            Self::InsufficientAvailability { request, available } => {
+                write!(
+                    f,
+                    "request {request} exceeds current availability {available}"
+                )
+            }
+            Self::NodeOverCommit { node } => {
+                write!(f, "allocation over-commits node {node}")
+            }
+            Self::ReleaseMismatch { node } => {
+                write!(f, "release does not match allocation on node {node}")
+            }
+            Self::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let r = Request::from_counts(vec![5]);
+        let a = Request::from_counts(vec![2]);
+        let e = ModelError::InsufficientAvailability {
+            request: r.clone(),
+            available: a.clone(),
+        };
+        assert!(e.to_string().contains("availability"));
+        let e = ModelError::ExceedsCapacity {
+            request: r,
+            capacity: a,
+        };
+        assert!(e.to_string().contains("capacity"));
+        assert!(ModelError::NodeOverCommit { node: NodeId(3) }
+            .to_string()
+            .contains("N3"));
+        assert!(ModelError::ReleaseMismatch { node: NodeId(1) }
+            .to_string()
+            .contains("N1"));
+        assert_eq!(
+            ModelError::DimensionMismatch.to_string(),
+            "dimension mismatch"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Instance pricing — the economics the paper's introduction frames
+//! ("users … without exceeding a given budget", "cloud providers try to
+//! maximize the use of resources and achieve more profits").
+//!
+//! Prices are integer micro-dollars per hour to keep revenue arithmetic
+//! exact; the defaults are the 2012 on-demand US-East rates for the
+//! Table-I instances.
+
+use crate::{Request, VmCatalog, VmTypeId};
+use serde::{Deserialize, Serialize};
+use vc_des::SimTime;
+
+/// Hourly price per VM type, in micro-dollars (10⁻⁶ $).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriceList {
+    per_hour_microdollars: Vec<u64>,
+}
+
+impl PriceList {
+    /// Build from explicit per-type hourly prices (micro-dollars).
+    pub fn new(per_hour_microdollars: Vec<u64>) -> Self {
+        Self {
+            per_hour_microdollars,
+        }
+    }
+
+    /// 2012 Amazon EC2 on-demand rates for the Table-I types:
+    /// small $0.08/h, medium $0.16/h, large $0.32/h.
+    pub fn ec2_2012() -> Self {
+        Self::new(vec![80_000, 160_000, 320_000])
+    }
+
+    /// Number of VM types priced.
+    pub fn len(&self) -> usize {
+        self.per_hour_microdollars.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.per_hour_microdollars.is_empty()
+    }
+
+    /// Hourly price of one instance of `ty`, micro-dollars.
+    ///
+    /// # Panics
+    /// Panics if `ty` is out of range.
+    pub fn hourly(&self, ty: VmTypeId) -> u64 {
+        self.per_hour_microdollars[ty.index()]
+    }
+
+    /// Hourly price of a whole request, micro-dollars.
+    ///
+    /// # Panics
+    /// Panics if the request has more types than the price list, or on
+    /// overflow.
+    pub fn request_hourly(&self, request: &Request) -> u64 {
+        request
+            .nonzero()
+            .map(|(ty, count)| {
+                self.hourly(ty)
+                    .checked_mul(u64::from(count))
+                    .expect("price overflow")
+            })
+            .try_fold(0u64, u64::checked_add)
+            .expect("price overflow")
+    }
+
+    /// Cost of holding `request` for `duration`, micro-dollars, with
+    /// sub-hour billing pro-rated (fractional hours, rounded to the
+    /// nearest micro-dollar).
+    pub fn cost(&self, request: &Request, duration: SimTime) -> u64 {
+        let hourly = self.request_hourly(request) as f64;
+        let hours = duration.as_secs_f64() / 3600.0;
+        (hourly * hours).round() as u64
+    }
+
+    /// Check this price list covers a catalogue.
+    pub fn covers(&self, catalog: &VmCatalog) -> bool {
+        self.len() >= catalog.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ec2_rates() {
+        let p = PriceList::ec2_2012();
+        assert_eq!(p.hourly(VmTypeId(0)), 80_000);
+        assert_eq!(p.hourly(VmTypeId(2)), 320_000);
+        assert!(p.covers(&VmCatalog::ec2_table1()));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn request_pricing_is_linear() {
+        let p = PriceList::ec2_2012();
+        // 2 small + 4 medium + 1 large = 0.16 + 0.64 + 0.32 = $1.12/h
+        let r = Request::from_counts(vec![2, 4, 1]);
+        assert_eq!(p.request_hourly(&r), 1_120_000);
+    }
+
+    #[test]
+    fn cost_prorates_subhour() {
+        let p = PriceList::ec2_2012();
+        let r = Request::from_counts(vec![1, 0, 0]);
+        // 30 minutes of a $0.08/h instance = $0.04.
+        assert_eq!(p.cost(&r, SimTime::from_secs(1800)), 40_000);
+        assert_eq!(p.cost(&r, SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn zero_request_free() {
+        let p = PriceList::ec2_2012();
+        assert_eq!(p.request_hourly(&Request::zeros(3)), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_type_panics() {
+        let p = PriceList::new(vec![1]);
+        let _ = p.hourly(VmTypeId(3));
+    }
+}

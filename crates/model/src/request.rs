@@ -1,0 +1,244 @@
+//! The request vector `R` (paper §II): instances requested per VM type.
+
+use crate::VmTypeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vector of VM counts per type — the paper's request vector `R`, and
+/// also the availability vector `A` and per-node remaining vectors `L[i]`
+/// (they share the same algebra).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    counts: Vec<u32>,
+}
+
+impl Request {
+    /// A request for zero VMs of each of `m` types.
+    pub fn zeros(m: usize) -> Self {
+        Self { counts: vec![0; m] }
+    }
+
+    /// Build from explicit per-type counts.
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        Self { counts }
+    }
+
+    /// Build from `(type, count)` pairs over `m` types; unlisted types get 0.
+    ///
+    /// # Panics
+    /// Panics if a type index is out of range.
+    pub fn from_pairs(m: usize, pairs: &[(VmTypeId, u32)]) -> Self {
+        let mut counts = vec![0; m];
+        for &(t, c) in pairs {
+            counts[t.index()] += c;
+        }
+        Self { counts }
+    }
+
+    /// Number of VM types (`m`).
+    #[inline]
+    pub fn num_types(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The raw counts.
+    #[inline]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Count for one type.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    #[inline]
+    pub fn get(&self, t: VmTypeId) -> u32 {
+        self.counts[t.index()]
+    }
+
+    /// Set the count for one type.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    #[inline]
+    pub fn set(&mut self, t: VmTypeId, count: u32) {
+        self.counts[t.index()] = count;
+    }
+
+    /// Total VMs requested across all types.
+    pub fn total_vms(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether no VMs are requested.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The paper's `com(A, B)`: elementwise minimum. `com(L[i], R)` is "what
+    /// node `N_i` can contribute towards request `R`".
+    ///
+    /// ```
+    /// use vc_model::Request;
+    /// let remaining = Request::from_counts(vec![3, 0, 2]);
+    /// let wanted = Request::from_counts(vec![2, 1, 4]);
+    /// assert_eq!(remaining.com(&wanted).counts(), &[2, 0, 2]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn com(&self, other: &Self) -> Self {
+        assert_eq!(self.counts.len(), other.counts.len(), "type count mismatch");
+        Self {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(&a, &b)| a.min(b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise `self ≤ other` — e.g. `R ≤ A` is the admissibility
+    /// condition of §II.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn le(&self, other: &Self) -> bool {
+        assert_eq!(self.counts.len(), other.counts.len(), "type count mismatch");
+        self.counts.iter().zip(&other.counts).all(|(a, b)| a <= b)
+    }
+
+    /// Elementwise checked addition.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or on overflow.
+    pub fn checked_add_assign(&mut self, other: &Self) {
+        assert_eq!(self.counts.len(), other.counts.len(), "type count mismatch");
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.checked_add(b).expect("request count overflow");
+        }
+    }
+
+    /// Elementwise checked subtraction (`tempR ← tempR − com(L[i], tempR)`
+    /// in Algorithm 1).
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any entry would underflow.
+    pub fn checked_sub_assign(&mut self, other: &Self) {
+        assert_eq!(self.counts.len(), other.counts.len(), "type count mismatch");
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.checked_sub(b).expect("request count underflow");
+        }
+    }
+
+    /// Iterator over `(type, count)` pairs with non-zero count.
+    pub fn nonzero(&self) -> impl Iterator<Item = (VmTypeId, u32)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (VmTypeId::from_index(i), c))
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R[")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}·V{i}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_accumulates() {
+        let r = Request::from_pairs(3, &[(VmTypeId(0), 2), (VmTypeId(2), 1), (VmTypeId(0), 1)]);
+        assert_eq!(r.counts(), &[3, 0, 1]);
+        assert_eq!(r.total_vms(), 4);
+    }
+
+    #[test]
+    fn com_elementwise_min() {
+        let a = Request::from_counts(vec![3, 1, 0]);
+        let b = Request::from_counts(vec![2, 5, 4]);
+        assert_eq!(a.com(&b).counts(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn com_with_self_identity() {
+        let a = Request::from_counts(vec![3, 1, 0]);
+        assert_eq!(a.com(&a), a);
+    }
+
+    #[test]
+    fn le_semantics() {
+        let r = Request::from_counts(vec![1, 2]);
+        let a = Request::from_counts(vec![1, 3]);
+        assert!(r.le(&a));
+        assert!(!a.le(&r));
+    }
+
+    #[test]
+    fn com_equals_rhs_iff_lhs_covers() {
+        // The paper's test `com(L[i], R) == R` means node i can host all of R.
+        let l = Request::from_counts(vec![5, 5, 5]);
+        let r = Request::from_counts(vec![2, 0, 3]);
+        assert_eq!(l.com(&r), r);
+        let l2 = Request::from_counts(vec![1, 0, 3]);
+        assert_ne!(l2.com(&r), r);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut r = Request::zeros(2);
+        let d = Request::from_counts(vec![4, 7]);
+        r.checked_add_assign(&d);
+        assert_eq!(r, d);
+        r.checked_sub_assign(&d);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let mut r = Request::zeros(1);
+        r.checked_sub_assign(&Request::from_counts(vec![1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "type count mismatch")]
+    fn length_mismatch_panics() {
+        let a = Request::zeros(2);
+        let b = Request::zeros(3);
+        let _ = a.com(&b);
+    }
+
+    #[test]
+    fn nonzero_iterator() {
+        let r = Request::from_counts(vec![0, 2, 0, 1]);
+        let v: Vec<_> = r.nonzero().collect();
+        assert_eq!(v, vec![(VmTypeId(1), 2), (VmTypeId(3), 1)]);
+    }
+
+    #[test]
+    fn display_format() {
+        let r = Request::from_counts(vec![2, 4, 1]);
+        assert_eq!(r.to_string(), "R[2·V0, 4·V1, 1·V2]");
+    }
+
+    #[test]
+    fn get_set() {
+        let mut r = Request::zeros(2);
+        r.set(VmTypeId(1), 9);
+        assert_eq!(r.get(VmTypeId(1)), 9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Random workload generation for the paper's simulations (§V-A).
+//!
+//! The paper simulates a cloud of 3 racks × 10 nodes where "the instances
+//! on each physical node are distributed randomly" and "the types and
+//! numbers of the twenty requests are also generated randomly". Two request
+//! scenarios are compared for Figs. 5–6: the default sizes, and a sequence
+//! "with a relatively small number of VMs".
+
+use crate::{ClusterState, Request, ResourceMatrix, VmCatalog};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use std::sync::Arc;
+use vc_topology::Topology;
+
+/// Parameters for random request generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestProfile {
+    /// Inclusive lower bound on the count for each VM type.
+    pub min_per_type: u32,
+    /// Inclusive upper bound on the count for each VM type.
+    pub max_per_type: u32,
+    /// Probability (in percent, 0–100) that a type appears in the request
+    /// at all; sampled independently per type. A request that would come
+    /// out empty is re-rolled with all types present.
+    pub type_presence_pct: u32,
+}
+
+impl RequestProfile {
+    /// The default simulation scenario (Fig. 5): moderately large clusters,
+    /// 1–6 instances of each requested type.
+    pub fn standard() -> Self {
+        Self {
+            min_per_type: 1,
+            max_per_type: 6,
+            type_presence_pct: 80,
+        }
+    }
+
+    /// The "relatively small number of VMs" scenario (Fig. 6): half the
+    /// standard instance counts, sparser types. Small-but-not-trivial
+    /// clusters span a few nodes, which is where the Theorem-2 exchange
+    /// pass has the most room to help (the paper reports 12 % vs 2 %).
+    pub fn small() -> Self {
+        Self {
+            min_per_type: 1,
+            max_per_type: 3,
+            type_presence_pct: 70,
+        }
+    }
+
+    /// Sample one request over `m` VM types.
+    ///
+    /// # Panics
+    /// Panics if `min_per_type > max_per_type` or `m == 0`.
+    pub fn sample(&self, m: usize, rng: &mut impl Rng) -> Request {
+        assert!(m > 0, "need at least one VM type");
+        assert!(
+            self.min_per_type <= self.max_per_type,
+            "invalid per-type range"
+        );
+        let count_dist = Uniform::new_inclusive(self.min_per_type, self.max_per_type);
+        loop {
+            let counts: Vec<u32> = (0..m)
+                .map(|_| {
+                    if rng.gen_range(0..100) < self.type_presence_pct {
+                        count_dist.sample(rng)
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let r = Request::from_counts(counts);
+            if !r.is_zero() {
+                return r;
+            }
+        }
+    }
+
+    /// Sample a batch of requests (the paper uses twenty).
+    pub fn sample_many(&self, m: usize, count: usize, rng: &mut impl Rng) -> Vec<Request> {
+        (0..count).map(|_| self.sample(m, rng)).collect()
+    }
+}
+
+/// Randomly distribute instance capacity over the nodes of a topology:
+/// every `(node, type)` cell gets `0..=max_per_cell` slots, uniformly.
+pub fn random_capacity(
+    topo: &Topology,
+    catalog: &VmCatalog,
+    max_per_cell: u32,
+    rng: &mut impl Rng,
+) -> ResourceMatrix {
+    let dist = Uniform::new_inclusive(0, max_per_cell);
+    let rows: Vec<Vec<u32>> = (0..topo.num_nodes())
+        .map(|_| (0..catalog.len()).map(|_| dist.sample(rng)).collect())
+        .collect();
+    ResourceMatrix::from_rows(&rows)
+}
+
+/// Build the paper's simulated cloud: 3 racks × 10 nodes, Table-I VM types,
+/// random per-node capacities of up to `max_per_cell` instances per type.
+pub fn paper_simulation_cloud(max_per_cell: u32, rng: &mut impl Rng) -> ClusterState {
+    let topo = Arc::new(vc_topology::generate::paper_simulation());
+    let catalog = Arc::new(VmCatalog::ec2_table1());
+    let capacity = random_capacity(&topo, &catalog, max_per_cell, rng);
+    ClusterState::new(topo, catalog, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = RequestProfile::standard();
+        for _ in 0..100 {
+            let r = p.sample(3, &mut rng);
+            assert!(!r.is_zero());
+            for &c in r.counts() {
+                assert!(c <= p.max_per_type);
+            }
+        }
+    }
+
+    #[test]
+    fn small_profile_smaller_on_average() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let std_total: u32 = RequestProfile::standard()
+            .sample_many(3, 200, &mut rng)
+            .iter()
+            .map(Request::total_vms)
+            .sum();
+        let small_total: u32 = RequestProfile::small()
+            .sample_many(3, 200, &mut rng)
+            .iter()
+            .map(Request::total_vms)
+            .sum();
+        assert!(small_total < std_total);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = RequestProfile::standard();
+        let a = p.sample_many(3, 20, &mut StdRng::seed_from_u64(42));
+        let b = p.sample_many(3, 20, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_capacity_within_bounds() {
+        let topo = vc_topology::generate::paper_simulation();
+        let cat = VmCatalog::ec2_table1();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cap = random_capacity(&topo, &cat, 3, &mut rng);
+        assert_eq!(cap.num_nodes(), 30);
+        assert_eq!(cap.num_types(), 3);
+        for node in topo.node_ids() {
+            for &v in cap.row(node) {
+                assert!(v <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_cloud_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = paper_simulation_cloud(3, &mut rng);
+        assert_eq!(s.num_nodes(), 30);
+        assert_eq!(s.num_types(), 3);
+        assert_eq!(s.topology().num_racks(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VM type")]
+    fn zero_types_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = RequestProfile::standard().sample(0, &mut rng);
+    }
+}

@@ -1,0 +1,178 @@
+//! Max-min fair bandwidth allocation (progressive filling).
+
+// Index-based loops mirror the textbook matrix formulations here.
+#![allow(clippy::needless_range_loop)]
+
+/// Compute the max-min fair rate for each flow.
+///
+/// * `capacities[r]` — capacity of resource `r` (MB/s);
+/// * `flow_resources[f]` — the resource indices flow `f` traverses (a
+///   flow with an empty list is unconstrained and gets
+///   [`f64::INFINITY`]).
+///
+/// Progressive filling: repeatedly find the resource with the smallest
+/// per-flow fair share among its unfrozen flows, freeze those flows at
+/// that rate, deduct their consumption everywhere, and continue until all
+/// flows are frozen. `O(R · F · path)` — fine at simulator scale.
+///
+/// # Panics
+/// Panics if a flow references an out-of-range resource or a capacity is
+/// negative/NaN.
+pub fn max_min_fair_share(capacities: &[f64], flow_resources: &[Vec<usize>]) -> Vec<f64> {
+    for &c in capacities {
+        assert!(c.is_finite() && c >= 0.0, "invalid capacity {c}");
+    }
+    let nr = capacities.len();
+    let nf = flow_resources.len();
+    for fr in flow_resources {
+        for &r in fr {
+            assert!(r < nr, "resource index {r} out of range");
+        }
+    }
+
+    let mut rates = vec![f64::INFINITY; nf];
+    let mut frozen = vec![false; nf];
+    let mut residual: Vec<f64> = capacities.to_vec();
+    // Unconstrained flows stay at infinity.
+    for (f, fr) in flow_resources.iter().enumerate() {
+        if fr.is_empty() {
+            frozen[f] = true;
+        }
+    }
+
+    loop {
+        // Count unfrozen flows per resource.
+        let mut users = vec![0u32; nr];
+        for (f, fr) in flow_resources.iter().enumerate() {
+            if !frozen[f] {
+                for &r in fr {
+                    users[r] += 1;
+                }
+            }
+        }
+        // Bottleneck resource: smallest residual fair share.
+        let mut bottleneck: Option<(usize, f64)> = None;
+        for r in 0..nr {
+            if users[r] > 0 {
+                let share = residual[r].max(0.0) / f64::from(users[r]);
+                if bottleneck.is_none_or(|(_, s)| share < s) {
+                    bottleneck = Some((r, share));
+                }
+            }
+        }
+        let Some((r, share)) = bottleneck else {
+            return rates; // every flow frozen
+        };
+        // Freeze all unfrozen flows through r at `share`.
+        for f in 0..nf {
+            if !frozen[f] && flow_resources[f].contains(&r) {
+                rates[f] = share;
+                frozen[f] = true;
+                for &res in &flow_resources[f] {
+                    residual[res] -= share;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck() {
+        let rates = max_min_fair_share(&[100.0, 40.0], &[vec![0, 1]]);
+        assert_close(rates[0], 40.0);
+    }
+
+    #[test]
+    fn equal_split_on_shared_link() {
+        let rates = max_min_fair_share(&[90.0], &[vec![0], vec![0], vec![0]]);
+        for r in rates {
+            assert_close(r, 30.0);
+        }
+    }
+
+    #[test]
+    fn classic_three_flow_example() {
+        // Link A (cap 10) shared by f0, f1; link B (cap 30) shared by f1, f2.
+        // f0 = 5, f1 = 5 (bottleneck A), f2 = 25 (leftover of B).
+        let rates = max_min_fair_share(&[10.0, 30.0], &[vec![0], vec![0, 1], vec![1]]);
+        assert_close(rates[0], 5.0);
+        assert_close(rates[1], 5.0);
+        assert_close(rates[2], 25.0);
+    }
+
+    #[test]
+    fn unconstrained_flow_infinite() {
+        let rates = max_min_fair_share(&[10.0], &[vec![], vec![0]]);
+        assert!(rates[0].is_infinite());
+        assert_close(rates[1], 10.0);
+    }
+
+    #[test]
+    fn no_flows() {
+        assert!(max_min_fair_share(&[5.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn total_never_exceeds_capacity() {
+        // randomised-ish structured case, checked exactly
+        let caps = [50.0, 20.0, 80.0];
+        let flows = vec![vec![0, 1], vec![1], vec![0, 2], vec![2], vec![0, 1, 2]];
+        let rates = max_min_fair_share(&caps, &flows);
+        for r in 0..caps.len() {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(fr, _)| fr.contains(&r))
+                .map(|(_, &rate)| rate)
+                .sum();
+            assert!(used <= caps[r] + 1e-6, "resource {r} over capacity: {used}");
+        }
+    }
+
+    #[test]
+    fn pareto_efficiency_on_bottlenecks() {
+        // Every flow should be bottlenecked somewhere: increasing any flow
+        // alone must violate some resource.
+        let caps = [50.0, 20.0];
+        let flows = vec![vec![0], vec![0, 1], vec![1]];
+        let rates = max_min_fair_share(&caps, &flows);
+        for (f, fr) in flows.iter().enumerate() {
+            let saturated = fr.iter().any(|&r| {
+                let used: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(g, _)| g.contains(&r))
+                    .map(|(_, &rate)| rate)
+                    .sum();
+                (used - caps[r]).abs() < 1e-6
+            });
+            assert!(saturated, "flow {f} is not bottlenecked");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_resource_index_panics() {
+        let _ = max_min_fair_share(&[1.0], &[vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid capacity")]
+    fn nan_capacity_panics() {
+        let _ = max_min_fair_share(&[f64::NAN], &[vec![0]]);
+    }
+
+    #[test]
+    fn zero_capacity_freezes_at_zero() {
+        let rates = max_min_fair_share(&[0.0], &[vec![0]]);
+        assert_close(rates[0], 0.0);
+    }
+}

@@ -1,0 +1,500 @@
+//! The flow network: active transfers and their fair-share rates.
+
+use crate::fairshare::max_min_fair_share;
+use crate::params::NetworkParams;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vc_des::SimTime;
+use vc_topology::{NodeId, Topology};
+
+/// Identifier of an active (or completed) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u64);
+
+#[derive(Debug)]
+struct Flow {
+    resources: Vec<usize>,
+    /// Rate ceiling independent of sharing (same-node memory copies).
+    rate_cap: f64,
+    remaining_latency_us: f64,
+    remaining_bytes: f64,
+    /// Current fair-share rate, bytes/µs (== MB/s).
+    rate: f64,
+    /// Caller-supplied correlation token, returned on completion.
+    token: u64,
+}
+
+const BYTE_EPS: f64 = 1e-6;
+
+/// All active flows over one physical topology, with max-min fair rates.
+///
+/// Drive it from a discrete-event loop:
+///
+/// 1. [`start_flow`](Self::start_flow) when a transfer begins;
+/// 2. schedule a wake-up at [`next_event_time`](Self::next_event_time)
+///    (re-query after *every* start/completion — rates shift);
+/// 3. on wake-up, [`take_completed`](Self::take_completed) returns the
+///    transfers that have finished by then.
+///
+/// ```
+/// use std::sync::Arc;
+/// use vc_des::SimTime;
+/// use vc_netsim::{FlowNet, NetworkParams};
+/// use vc_topology::{generate, DistanceTiers, NodeId};
+///
+/// let topo = Arc::new(generate::uniform(2, 3, DistanceTiers::default()));
+/// let mut net = FlowNet::new(topo, NetworkParams::default());
+/// net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 119_000_000, 42);
+/// let done_at = net.next_event_time().unwrap();
+/// let done = net.take_completed(done_at);
+/// assert_eq!(done[0].1, 42);
+/// assert!((done_at.as_secs_f64() - 1.0).abs() < 0.01); // 119 MB at 119 MB/s
+/// ```
+#[derive(Debug)]
+pub struct FlowNet {
+    topo: Arc<Topology>,
+    params: NetworkParams,
+    capacities: Vec<f64>,
+    flows: BTreeMap<u64, Flow>,
+    next_id: u64,
+    clock: SimTime,
+}
+
+impl FlowNet {
+    /// Build the resource graph for `topo`: TX/RX per node, up/down per
+    /// rack, up/down per cloud.
+    ///
+    /// # Panics
+    /// Panics if `params` fails [`NetworkParams::validate`].
+    pub fn new(topo: Arc<Topology>, params: NetworkParams) -> Self {
+        params.validate();
+        let n = topo.num_nodes();
+        let r = topo.num_racks();
+        let c = topo.num_clouds();
+        let mut capacities = Vec::with_capacity(2 * (n + r + c));
+        capacities.extend(std::iter::repeat_n(params.nic_mbps, 2 * n));
+        capacities.extend(std::iter::repeat_n(params.rack_uplink_mbps, 2 * r));
+        capacities.extend(std::iter::repeat_n(params.cloud_uplink_mbps, 2 * c));
+        Self {
+            topo,
+            params,
+            capacities,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// The simulated clock of the last [`advance`](Self::advance).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn tx(&self, node: NodeId) -> usize {
+        2 * node.index()
+    }
+    fn rx(&self, node: NodeId) -> usize {
+        2 * node.index() + 1
+    }
+    fn rack_up(&self, rack: vc_topology::RackId) -> usize {
+        2 * self.topo.num_nodes() + 2 * rack.index()
+    }
+    fn rack_down(&self, rack: vc_topology::RackId) -> usize {
+        2 * self.topo.num_nodes() + 2 * rack.index() + 1
+    }
+    fn cloud_up(&self, cloud: vc_topology::CloudId) -> usize {
+        2 * (self.topo.num_nodes() + self.topo.num_racks()) + 2 * cloud.index()
+    }
+    fn cloud_down(&self, cloud: vc_topology::CloudId) -> usize {
+        2 * (self.topo.num_nodes() + self.topo.num_racks()) + 2 * cloud.index() + 1
+    }
+
+    /// The path (resources, one-way latency, per-flow rate ceiling)
+    /// between nodes. The ceiling models the TCP window/RTT limit of one
+    /// connection at that distance tier.
+    fn path(&self, src: NodeId, dst: NodeId) -> (Vec<usize>, u64, f64) {
+        if src == dst {
+            return (vec![], 0, self.params.intra_node_mbps);
+        }
+        let mut res = vec![self.tx(src), self.rx(dst)];
+        let latency;
+        let flow_cap;
+        if self.topo.same_rack(src, dst) {
+            latency = self.params.same_rack_latency_us;
+            flow_cap = self.params.same_rack_flow_mbps;
+        } else {
+            res.push(self.rack_up(self.topo.rack_of(src)));
+            res.push(self.rack_down(self.topo.rack_of(dst)));
+            if self.topo.same_cloud(src, dst) {
+                latency = self.params.cross_rack_latency_us;
+                flow_cap = self.params.cross_rack_flow_mbps;
+            } else {
+                res.push(self.cloud_up(self.topo.cloud_of(src)));
+                res.push(self.cloud_down(self.topo.cloud_of(dst)));
+                latency = self.params.cross_cloud_latency_us;
+                flow_cap = self.params.cross_cloud_flow_mbps;
+            }
+        }
+        (res, latency, flow_cap)
+    }
+
+    /// Begin a transfer of `bytes` from `src` to `dst` at time `now`;
+    /// `token` is handed back on completion. Zero-byte flows still pay the
+    /// path latency.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the net's clock.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        token: u64,
+    ) -> FlowId {
+        self.advance(now);
+        let (resources, latency_us, rate_cap) = self.path(src, dst);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                resources,
+                rate_cap,
+                remaining_latency_us: latency_us as f64,
+                remaining_bytes: bytes as f64,
+                rate: 0.0,
+                token,
+            },
+        );
+        self.recompute_rates();
+        FlowId(id)
+    }
+
+    /// Advance the fluid model to `now`, draining latency then bytes at
+    /// the current rates.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the net's clock.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(now >= self.clock, "FlowNet clock moving backwards");
+        let elapsed = (now - self.clock).as_micros() as f64;
+        self.clock = now;
+        if elapsed == 0.0 {
+            return;
+        }
+        for flow in self.flows.values_mut() {
+            let lat = flow.remaining_latency_us.min(elapsed);
+            flow.remaining_latency_us -= lat;
+            let active = elapsed - lat;
+            if active > 0.0 && flow.rate > 0.0 {
+                flow.remaining_bytes = (flow.remaining_bytes - flow.rate * active).max(0.0);
+            }
+        }
+    }
+
+    /// Earliest predicted completion across all active flows at current
+    /// rates, or `None` when idle. Rounded *up* to the next microsecond so
+    /// a wake-up scheduled at this time is guaranteed to observe the
+    /// completion.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.flows
+            .values()
+            .filter_map(|f| {
+                let transfer_us = if f.remaining_bytes <= BYTE_EPS {
+                    0.0
+                } else if f.rate > 0.0 {
+                    f.remaining_bytes / f.rate
+                } else {
+                    return None; // starved flow: wait for a rate change
+                };
+                let us = (f.remaining_latency_us + transfer_us).ceil() as u64;
+                Some(self.clock + SimTime::from_micros(us))
+            })
+            .min()
+    }
+
+    /// Advance to `now` and remove every flow that has finished, returning
+    /// `(id, token)` pairs in flow-creation order.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<(FlowId, u64)> {
+        self.advance(now);
+        let done: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining_bytes <= BYTE_EPS && f.remaining_latency_us <= 0.0)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::with_capacity(done.len());
+        for id in done {
+            let flow = self.flows.remove(&id).expect("flow disappeared");
+            out.push((FlowId(id), flow.token));
+        }
+        if !out.is_empty() {
+            self.recompute_rates();
+        }
+        out
+    }
+
+    /// Analytic lower bound for one isolated transfer: path latency plus
+    /// bytes over the path's narrowest link. Useful for tests and quick
+    /// estimates.
+    pub fn isolated_transfer_time(&self, src: NodeId, dst: NodeId, bytes: u64) -> SimTime {
+        let (resources, latency_us, rate_cap) = self.path(src, dst);
+        let bottleneck = resources
+            .iter()
+            .map(|&r| self.capacities[r])
+            .fold(rate_cap, f64::min);
+        let us = latency_us as f64 + bytes as f64 / bottleneck;
+        SimTime::from_micros(us.ceil() as u64)
+    }
+
+    fn recompute_rates(&mut self) {
+        // Model each finite per-flow ceiling as a dedicated single-flow
+        // resource *inside* the max-min computation, so bandwidth a
+        // capped flow cannot use is redistributed to its competitors
+        // rather than stranded.
+        let mut capacities = self.capacities.clone();
+        let paths: Vec<Vec<usize>> = self
+            .flows
+            .values()
+            .map(|f| {
+                let mut path = f.resources.clone();
+                if f.rate_cap.is_finite() {
+                    path.push(capacities.len());
+                    capacities.push(f.rate_cap);
+                }
+                path
+            })
+            .collect();
+        let rates = max_min_fair_share(&capacities, &paths);
+        for (flow, rate) in self.flows.values_mut().zip(rates) {
+            flow.rate = rate.min(flow.rate_cap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::{generate, DistanceTiers};
+
+    fn net() -> FlowNet {
+        let topo = Arc::new(generate::uniform(2, 3, DistanceTiers::default()));
+        FlowNet::new(topo, NetworkParams::default())
+    }
+
+    fn run_to_completion(net: &mut FlowNet) -> Vec<(SimTime, u64)> {
+        let mut out = vec![];
+        while let Some(t) = net.next_event_time() {
+            for (_, token) in net.take_completed(t) {
+                out.push((t, token));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_intra_rack_flow_nic_limited() {
+        let mut n = net();
+        // 119 MB over a 119 MB/s NIC = 1s + 100µs latency.
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 119_000_000, 7);
+        let done = run_to_completion(&mut n);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, 7);
+        let t = done[0].0;
+        let expect = n.isolated_transfer_time(NodeId(0), NodeId(1), 119_000_000);
+        assert_eq!(t, expect);
+        assert!((t.as_secs_f64() - 1.0001).abs() < 1e-3, "t = {t}");
+    }
+
+    #[test]
+    fn same_node_flow_memory_speed() {
+        let mut n = net();
+        n.start_flow(SimTime::ZERO, NodeId(2), NodeId(2), 4_000_000, 1);
+        let done = run_to_completion(&mut n);
+        // 4 MB at 4000 MB/s = 1 ms, zero latency.
+        assert_eq!(done[0].0, SimTime::from_micros(1_000));
+    }
+
+    #[test]
+    fn two_flows_share_sender_nic() {
+        let mut n = net();
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 119_000_000, 1);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), 119_000_000, 2);
+        let done = run_to_completion(&mut n);
+        assert_eq!(done.len(), 2);
+        // Each gets half the TX NIC -> ~2s.
+        let last = done.last().unwrap().0;
+        assert!((last.as_secs_f64() - 2.0001).abs() < 1e-2, "last = {last}");
+    }
+
+    #[test]
+    fn cross_rack_flows_capped_per_flow() {
+        let mut n = net();
+        // 3 senders in rack 0 to rack 1: the per-flow ceiling is 40 MB/s
+        // and the shared 119 MB/s uplink allows 119/3 ≈ 39.7 MB/s each, so
+        // the uplink share binds: 119 MB / 39.7 MB/s ≈ 3.0 s.
+        for (i, src) in [0u32, 1, 2].into_iter().enumerate() {
+            n.start_flow(
+                SimTime::ZERO,
+                NodeId(src),
+                NodeId(3 + src),
+                119_000_000,
+                i as u64,
+            );
+        }
+        let done = run_to_completion(&mut n);
+        let last = done.last().unwrap().0;
+        assert!((last.as_secs_f64() - 3.0003).abs() < 1e-2, "last = {last}");
+        // A single cross-rack flow in isolation is capped at 40 MB/s.
+        let mut solo = net();
+        solo.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 119_000_000, 0);
+        let done = run_to_completion(&mut solo);
+        assert!(
+            (done[0].0.as_secs_f64() - 2.9753).abs() < 1e-2,
+            "solo = {}",
+            done[0].0
+        );
+    }
+
+    #[test]
+    fn uplink_saturates_with_many_cross_rack_flows() {
+        // 3 nodes per rack is too few to saturate 476; shrink the uplink.
+        let topo = Arc::new(generate::uniform(2, 3, DistanceTiers::default()));
+        let params = NetworkParams {
+            rack_uplink_mbps: 60.0,
+            ..NetworkParams::default()
+        };
+        let mut n = FlowNet::new(topo, params);
+        for i in 0..3u32 {
+            n.start_flow(
+                SimTime::ZERO,
+                NodeId(i),
+                NodeId(3 + i),
+                60_000_000,
+                u64::from(i),
+            );
+        }
+        // 3 flows share the 60 MB/s uplink: 20 MB/s each -> ~3 s.
+        let done = run_to_completion(&mut n);
+        let last = done.last().unwrap().0;
+        assert!((last.as_secs_f64() - 3.0003).abs() < 1e-2, "last = {last}");
+    }
+
+    #[test]
+    fn oversubscribed_uplink_slows_cross_rack() {
+        // Compare 5 parallel intra-rack flows vs 5 cross-rack flows from
+        // distinct senders: uplink (476) < 5 × NIC (595).
+        let topo = Arc::new(generate::uniform(2, 5, DistanceTiers::default()));
+        let mut intra = FlowNet::new(Arc::clone(&topo), NetworkParams::default());
+        let mut cross = FlowNet::new(topo, NetworkParams::default());
+        for i in 0..5u32 {
+            // intra: node i -> node (i+1)%5 (same rack, distinct NIC pairs? receivers overlap)
+            intra.start_flow(
+                SimTime::ZERO,
+                NodeId(i),
+                NodeId((i + 1) % 5),
+                50_000_000,
+                u64::from(i),
+            );
+            cross.start_flow(
+                SimTime::ZERO,
+                NodeId(i),
+                NodeId(5 + i),
+                50_000_000,
+                u64::from(i),
+            );
+        }
+        let t_intra = run_to_completion(&mut intra).last().unwrap().0;
+        let t_cross = run_to_completion(&mut cross).last().unwrap().0;
+        assert!(
+            t_cross > t_intra,
+            "cross-rack {t_cross} should be slower than intra-rack {t_intra}"
+        );
+    }
+
+    #[test]
+    fn zero_byte_flow_costs_latency_only() {
+        let mut n = net();
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(4), 0, 9);
+        let done = run_to_completion(&mut n);
+        assert_eq!(done[0].0, SimTime::from_micros(300)); // cross-rack latency
+    }
+
+    #[test]
+    fn staggered_starts_rate_adjustment() {
+        let mut n = net();
+        // Flow A alone for 0.5s at 119 MB/s, then B joins; both share TX.
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 119_000_000, 1);
+        n.start_flow(
+            SimTime::from_millis(500),
+            NodeId(0),
+            NodeId(2),
+            119_000_000,
+            2,
+        );
+        let done = run_to_completion(&mut n);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].1, 1);
+        // A: 0.5s alone (59.5MB) + remainder shared at 59.5 MB/s -> ~1.5s total.
+        assert!(
+            (done[0].0.as_secs_f64() - 1.5).abs() < 0.02,
+            "A at {}",
+            done[0].0
+        );
+        // B: ~119MB at mixed rates, finishes ~2.0s
+        assert!(
+            (done[1].0.as_secs_f64() - 2.0).abs() < 0.02,
+            "B at {}",
+            done[1].0
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let mut n = net();
+            for i in 0..8u64 {
+                n.start_flow(
+                    SimTime::from_micros(i * 137),
+                    NodeId((i % 6) as u32),
+                    NodeId(((i + 3) % 6) as u32),
+                    1_000_000 + i * 50_000,
+                    i,
+                );
+            }
+            run_to_completion(&mut n)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moving backwards")]
+    fn backwards_clock_panics() {
+        let mut n = net();
+        n.advance(SimTime::from_secs(1));
+        n.advance(SimTime::ZERO);
+    }
+
+    #[test]
+    fn cross_cloud_path_uses_wan() {
+        let topo = Arc::new(generate::multi_cloud(
+            2,
+            1,
+            2,
+            DistanceTiers::new(1, 2, 8).unwrap(),
+        ));
+        let n = FlowNet::new(topo, NetworkParams::default());
+        // WAN latency dominates.
+        let t = n.isolated_transfer_time(NodeId(0), NodeId(3), 0);
+        assert_eq!(t, SimTime::from_micros(10_000));
+        // A single cross-cloud connection is capped at 10 MB/s.
+        let t2 = n.isolated_transfer_time(NodeId(0), NodeId(3), 119_000_000);
+        assert!((t2.as_secs_f64() - 11.91).abs() < 0.01, "t2 = {t2}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Flow-level datacenter network simulation.
+//!
+//! Models the network the paper's experiments run over — NICs, shared
+//! top-of-rack uplinks, and (optionally) inter-cloud links — at *flow*
+//! granularity: each transfer is a fluid flow whose rate is the **max-min
+//! fair share** across every resource on its path, recomputed whenever a
+//! flow starts or finishes. This captures exactly the effect the paper
+//! measures: a virtual cluster that spans racks pushes its shuffle traffic
+//! through oversubscribed uplinks and slows down, while a compact cluster
+//! stays on fast intra-rack paths.
+//!
+//! Resources on a flow's path:
+//!
+//! * same node — no network resource (memory-speed copy at
+//!   [`NetworkParams::intra_node_mbps`], unshared);
+//! * same rack — sender NIC TX, receiver NIC RX;
+//! * cross rack — sender TX, source-rack uplink (up), destination-rack
+//!   uplink (down), receiver RX;
+//! * cross cloud — additionally the per-cloud WAN links.
+//!
+//! Rates are in MB/s, which conveniently equals bytes/µs — the unit of
+//! [`vc_des::SimTime`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fairshare;
+mod flownet;
+pub mod measure;
+mod params;
+
+pub use fairshare::max_min_fair_share;
+pub use flownet::{FlowId, FlowNet};
+pub use params::NetworkParams;

@@ -1,0 +1,318 @@
+//! Affinity-oblivious placement baselines used as experimental
+//! comparators (the strategies a locality-unaware IaaS scheduler would
+//! use), plus the random-centre helper behind the paper's Fig. 2.
+
+use crate::distance::cluster_distance;
+use crate::policy::{check_admissible, PlacementError, PlacementPolicy};
+use rand::Rng;
+use vc_model::{Allocation, ClusterState, Request, ResourceMatrix};
+use vc_topology::NodeId;
+
+/// Greedily fill nodes in a fixed visiting order; the centre is then the
+/// distance-minimising node (so baselines are not penalised by a silly
+/// centre — Fig. 2 isolates the centre effect separately).
+fn fill_in_order(
+    order: &[NodeId],
+    request: &Request,
+    state: &ClusterState,
+) -> Result<Allocation, PlacementError> {
+    check_admissible(request, state)?;
+    let remaining = state.remaining();
+    let mut matrix = ResourceMatrix::zeros(state.num_nodes(), state.num_types());
+    let mut outstanding = request.clone();
+    for &node in order {
+        if outstanding.is_zero() {
+            break;
+        }
+        let take = remaining.row_request(node).com(&outstanding);
+        if !take.is_zero() {
+            for (ty, count) in take.nonzero() {
+                matrix.add(node, ty, count);
+            }
+            outstanding.checked_sub_assign(&take);
+        }
+    }
+    debug_assert!(outstanding.is_zero(), "admissible request must complete");
+    let (_, center) = cluster_distance(&matrix, state.topology());
+    Ok(Allocation::new(matrix, center))
+}
+
+/// **First-fit**: scan nodes in id order, taking whatever each provides.
+/// Models a scheduler that ignores topology entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn place(
+        &self,
+        request: &Request,
+        state: &ClusterState,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Allocation, PlacementError> {
+        let order: Vec<NodeId> = state.topology().node_ids().collect();
+        fill_in_order(&order, request, state)
+    }
+}
+
+/// **Best-fit (packing)**: visit nodes by how much of the request they can
+/// provide, most first — packs the cluster onto few nodes but is blind to
+/// which racks those nodes are in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFit;
+
+impl PlacementPolicy for BestFit {
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+
+    fn place(
+        &self,
+        request: &Request,
+        state: &ClusterState,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Allocation, PlacementError> {
+        let remaining = state.remaining();
+        let mut order: Vec<NodeId> = state.topology().node_ids().collect();
+        order.sort_by_key(|&n| {
+            (
+                std::cmp::Reverse(remaining.row_request(n).com(request).total_vms()),
+                n,
+            )
+        });
+        fill_in_order(&order, request, state)
+    }
+}
+
+/// **Spread (striping)**: interleave nodes across racks (rack 0 node 0,
+/// rack 1 node 0, …) — the load-balancing pattern that maximises failure
+/// independence and, incidentally, cluster distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Spread;
+
+impl PlacementPolicy for Spread {
+    fn name(&self) -> &'static str {
+        "spread"
+    }
+
+    fn place(
+        &self,
+        request: &Request,
+        state: &ClusterState,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Allocation, PlacementError> {
+        let topo = state.topology();
+        let max_rack = topo
+            .racks()
+            .iter()
+            .map(|r| r.nodes.len())
+            .max()
+            .unwrap_or(0);
+        let mut order = Vec::with_capacity(topo.num_nodes());
+        for slot in 0..max_rack {
+            for rack in topo.racks() {
+                if let Some(&node) = rack.nodes.get(slot) {
+                    order.push(node);
+                }
+            }
+        }
+        // Spread VM-by-VM: cycle the striped order taking one VM of one
+        // outstanding type per visit.
+        check_admissible(request, state)?;
+        let remaining = state.remaining();
+        let mut matrix = ResourceMatrix::zeros(state.num_nodes(), state.num_types());
+        let mut outstanding = request.clone();
+        while !outstanding.is_zero() {
+            let mut progressed = false;
+            for &node in &order {
+                if outstanding.is_zero() {
+                    break;
+                }
+                // take a single VM of the first outstanding type this node can host
+                let avail = remaining.row_request(node);
+                for (ty, _) in outstanding.clone().nonzero() {
+                    if matrix.get(node, ty) < avail.get(ty) {
+                        matrix.add(node, ty, 1);
+                        outstanding.set(ty, outstanding.get(ty) - 1);
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+            debug_assert!(progressed, "admissible request must progress");
+            if !progressed {
+                break;
+            }
+        }
+        let (_, center) = cluster_distance(&matrix, topo);
+        Ok(Allocation::new(matrix, center))
+    }
+}
+
+/// **Random**: place VMs one at a time on uniformly random feasible nodes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomPlacement;
+
+impl PlacementPolicy for RandomPlacement {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn place(
+        &self,
+        request: &Request,
+        state: &ClusterState,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Allocation, PlacementError> {
+        check_admissible(request, state)?;
+        let remaining = state.remaining();
+        let mut matrix = ResourceMatrix::zeros(state.num_nodes(), state.num_types());
+        let mut outstanding = request.clone();
+        while !outstanding.is_zero() {
+            // All (node, type) cells that can still host an outstanding VM.
+            let mut cells: Vec<(NodeId, vc_model::VmTypeId)> = Vec::new();
+            for node in state.topology().node_ids() {
+                for (ty, _) in outstanding.nonzero() {
+                    if matrix.get(node, ty) < remaining.get(node, ty) {
+                        cells.push((node, ty));
+                    }
+                }
+            }
+            debug_assert!(
+                !cells.is_empty(),
+                "admissible request must have a feasible cell"
+            );
+            let (node, ty) = cells[rng.gen_range(0..cells.len())];
+            matrix.add(node, ty, 1);
+            outstanding.set(ty, outstanding.get(ty) - 1);
+        }
+        let (_, center) = cluster_distance(&matrix, state.topology());
+        Ok(Allocation::new(matrix, center))
+    }
+}
+
+/// Pick a central node uniformly at random among the allocation's
+/// *occupied* nodes — the strawman of Fig. 2 ("shortest distance with a
+/// random central node").
+///
+/// Returns the allocation's existing centre when it hosts no VMs at all.
+pub fn random_center(allocation: &Allocation, rng: &mut dyn rand::RngCore) -> NodeId {
+    let occupied = allocation.matrix().occupied_nodes();
+    if occupied.is_empty() {
+        allocation.center()
+    } else {
+        occupied[rng.gen_range(0..occupied.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance_with_center;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use vc_model::VmCatalog;
+    use vc_topology::{generate, DistanceTiers};
+
+    fn state() -> ClusterState {
+        let topo = Arc::new(generate::uniform(3, 3, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        ClusterState::uniform_capacity(topo, cat, 2)
+    }
+
+    fn policies() -> Vec<Box<dyn PlacementPolicy>> {
+        vec![
+            Box::new(FirstFit),
+            Box::new(BestFit),
+            Box::new(Spread),
+            Box::new(RandomPlacement),
+        ]
+    }
+
+    #[test]
+    fn all_baselines_satisfy_and_fit() {
+        let s = state();
+        let req = Request::from_counts(vec![3, 2, 1]);
+        let mut rng = StdRng::seed_from_u64(11);
+        for p in policies() {
+            let a = p
+                .place(&req, &s, &mut rng)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            assert!(a.satisfies(&req), "{} does not satisfy", p.name());
+            assert!(a.matrix().le(&s.remaining()), "{} over-commits", p.name());
+        }
+    }
+
+    #[test]
+    fn spread_uses_many_racks() {
+        let s = state();
+        let req = Request::from_counts(vec![6, 0, 0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let spread = Spread.place(&req, &s, &mut rng).unwrap();
+        assert_eq!(
+            spread.rack_span(s.topology()),
+            3,
+            "striping should hit all racks"
+        );
+        let packed = BestFit.place(&req, &s, &mut rng).unwrap();
+        assert!(packed.rack_span(s.topology()) <= spread.rack_span(s.topology()));
+    }
+
+    #[test]
+    fn online_beats_or_ties_baselines_on_average() {
+        let s = state();
+        let mut rng = StdRng::seed_from_u64(5);
+        let profile = vc_model::workload::RequestProfile::standard();
+        let mut online_total = 0u64;
+        let mut spread_total = 0u64;
+        for _ in 0..20 {
+            let req = profile.sample(3, &mut rng);
+            if !s.can_satisfy(&req) {
+                continue;
+            }
+            let o = crate::online::place(&req, &s).unwrap();
+            let b = Spread.place(&req, &s, &mut rng).unwrap();
+            online_total += distance_with_center(o.matrix(), s.topology(), o.center());
+            spread_total += distance_with_center(b.matrix(), s.topology(), b.center());
+        }
+        assert!(
+            online_total <= spread_total,
+            "online {online_total} should not exceed spread {spread_total}"
+        );
+    }
+
+    #[test]
+    fn random_center_is_occupied() {
+        let s = state();
+        let req = Request::from_counts(vec![2, 2, 0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = FirstFit.place(&req, &s, &mut rng).unwrap();
+        for _ in 0..10 {
+            let c = random_center(&a, &mut rng);
+            assert!(a.matrix().occupied_nodes().contains(&c));
+        }
+    }
+
+    #[test]
+    fn random_placement_deterministic_per_seed() {
+        let s = state();
+        let req = Request::from_counts(vec![2, 1, 1]);
+        let a = RandomPlacement
+            .place(&req, &s, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = RandomPlacement
+            .place(&req, &s, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn baseline_names() {
+        let names: Vec<_> = policies().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["first-fit", "best-fit", "spread", "random"]);
+    }
+}

@@ -1,0 +1,361 @@
+//! **Algorithm 2** — global sub-optimisation over a request queue (paper
+//! §IV-B).
+//!
+//! 1. **Admission** ([`get_requests`]): collect the queue prefix the
+//!    current resources can serve (FIFO, as the paper suggests; a
+//!    skipping variant is provided for ablation).
+//! 2. **Serve** each admitted request with Algorithm 1 against the
+//!    evolving resource state.
+//! 3. **Exchange** ([`suboptimize`]): for every pair of allocations with
+//!    different central nodes, apply Theorem-2 VM swaps — cluster `a`
+//!    trades a VM it holds on `b`'s centre for one of `b`'s same-type VMs
+//!    on a node nearer `a`'s centre — until no improving swap remains.
+//!    Each swap is capacity-neutral (per-node, per-type totals are
+//!    unchanged) and strictly reduces the summed distance.
+
+use crate::distance::distance_with_center;
+use crate::online;
+use crate::policy::PlacementError;
+use vc_model::{Allocation, ClusterState, Request};
+use vc_topology::Topology;
+
+/// How [`get_requests`] walks the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Admission {
+    /// Strict FIFO: stop at the first request that does not fit (the
+    /// paper's default — later requests must not overtake).
+    #[default]
+    FifoBlocking,
+    /// FIFO order, but requests that do not fit are skipped rather than
+    /// blocking the queue (backfilling).
+    FifoSkipping,
+}
+
+/// The outcome of serving a queue.
+#[derive(Debug, Clone)]
+pub struct QueuePlacement {
+    /// `(queue_index, allocation)` for each served request, in service
+    /// order. Centres are as chosen by Algorithm 1; the Theorem-2 pass
+    /// mutates matrices but never centres (per the paper).
+    pub served: Vec<(usize, Allocation)>,
+    /// Queue indices that could not be admitted this round.
+    pub deferred: Vec<usize>,
+    /// Per-served-allocation centre distance right after step 2 (aligned
+    /// with [`served`](Self::served)).
+    pub served_online_distances: Vec<u64>,
+    /// Σ of per-allocation centre distances right after step 2.
+    pub online_distance: u64,
+    /// Σ of per-allocation centre distances after the Theorem-2 exchanges.
+    pub optimized_distance: u64,
+}
+
+/// Step 1 of Algorithm 2: which queue entries can be served now?
+///
+/// Walks `queue` in order, tentatively reserving availability; returns the
+/// indices that fit. `FifoBlocking` stops at the first miss, `FifoSkipping`
+/// keeps scanning.
+pub fn get_requests(queue: &[Request], state: &ClusterState, admission: Admission) -> Vec<usize> {
+    let mut available = state.availability();
+    let mut admitted = Vec::new();
+    for (idx, request) in queue.iter().enumerate() {
+        if request.num_types() == available.num_types() && request.le(&available) {
+            available.checked_sub_assign(request);
+            admitted.push(idx);
+        } else if admission == Admission::FifoBlocking {
+            break;
+        }
+    }
+    admitted
+}
+
+/// Steps 1–3 of Algorithm 2: admit, serve with Algorithm 1, then apply the
+/// Theorem-2 exchange pass.
+///
+/// `state` is cloned internally; committing the returned allocations is
+/// the caller's responsibility (the cloud simulator does it after deciding
+/// service times).
+pub fn place_queue(
+    queue: &[Request],
+    state: &ClusterState,
+    admission: Admission,
+) -> Result<QueuePlacement, PlacementError> {
+    let admitted = get_requests(queue, state, admission);
+    let mut working = state.clone();
+    let mut served = Vec::with_capacity(admitted.len());
+    for &idx in &admitted {
+        let allocation = online::place(&queue[idx], &working)?;
+        working
+            .allocate(&allocation)
+            .expect("online heuristic produced an over-committed allocation");
+        served.push((idx, allocation));
+    }
+
+    let topo = state.topology();
+    let served_online_distances: Vec<u64> = served
+        .iter()
+        .map(|(_, a)| distance_with_center(a.matrix(), topo, a.center()))
+        .collect();
+    let online_distance = served_online_distances.iter().sum();
+
+    let mut allocations: Vec<&mut Allocation> = served.iter_mut().map(|(_, a)| a).collect();
+    suboptimize(&mut allocations, topo);
+
+    let optimized_distance = served
+        .iter()
+        .map(|(_, a)| distance_with_center(a.matrix(), topo, a.center()))
+        .sum();
+
+    let deferred = (0..queue.len()).filter(|i| !admitted.contains(i)).collect();
+    Ok(QueuePlacement {
+        served,
+        deferred,
+        served_online_distances,
+        online_distance,
+        optimized_distance,
+    })
+}
+
+/// Step 3 of Algorithm 2: repeatedly apply [`transfer`] to every pair of
+/// allocations with distinct centres until a full pass makes no progress.
+/// Returns the total distance reduction.
+pub fn suboptimize(allocations: &mut [&mut Allocation], topo: &Topology) -> u64 {
+    let mut total = 0u64;
+    loop {
+        let mut pass = 0u64;
+        for i in 0..allocations.len() {
+            for j in (i + 1)..allocations.len() {
+                if allocations[i].center() != allocations[j].center() {
+                    let (left, right) = allocations.split_at_mut(j);
+                    pass += transfer(left[i], right[0], topo);
+                }
+            }
+        }
+        total += pass;
+        if pass == 0 {
+            return total;
+        }
+    }
+}
+
+/// The paper's `transfer` operation: apply every improving Theorem-2 swap
+/// between clusters `a` and `b`, in both directions, until none remains.
+/// Returns the distance reduction achieved.
+///
+/// A swap moves one VM of type `r` of cluster `a` **off** `b`'s centre
+/// `N_y` onto a node `N_k` currently hosting one of `b`'s type-`r` VMs,
+/// while `b` moves that VM onto its own centre `N_y`. It improves the sum
+/// exactly when `D[x][y] + D[y][k] > D[x][k]` (`N_x` = `a`'s centre), and
+/// is capacity-neutral because the per-node, per-type totals of `a + b`
+/// are unchanged.
+pub fn transfer(a: &mut Allocation, b: &mut Allocation, topo: &Topology) -> u64 {
+    let mut saved = 0u64;
+    loop {
+        let step = transfer_one(a, b, topo) + transfer_one(b, a, topo);
+        if step == 0 {
+            return saved;
+        }
+        saved += step;
+    }
+}
+
+/// One directed sweep: move VMs of `mover` off `anchor`'s centre.
+fn transfer_one(mover: &mut Allocation, anchor: &mut Allocation, topo: &Topology) -> u64 {
+    let x = mover.center();
+    let y = anchor.center();
+    if x == y {
+        return 0;
+    }
+    let m = mover.matrix().num_types();
+    let mut saved = 0u64;
+    for j in 0..m {
+        let ty = vc_model::VmTypeId::from_index(j);
+        // While the mover holds a type-j VM on the anchor's centre…
+        while mover.matrix().get(y, ty) > 0 {
+            // …find the anchor's type-j VM whose node gives the best
+            // improvement for the mover.
+            let d_xy = u64::from(topo.distance(x, y));
+            let candidate = topo
+                .node_ids()
+                .filter(|&k| k != y && anchor.matrix().get(k, ty) > 0)
+                .map(|k| {
+                    let gain = (d_xy + u64::from(topo.distance(y, k)))
+                        .saturating_sub(u64::from(topo.distance(x, k)));
+                    (gain, k)
+                })
+                .filter(|&(gain, _)| gain > 0)
+                .max_by_key(|&(gain, k)| (gain, std::cmp::Reverse(k)));
+            let Some((gain, k)) = candidate else { break };
+            mover.matrix_mut().sub(y, ty, 1);
+            mover.matrix_mut().add(k, ty, 1);
+            anchor.matrix_mut().sub(k, ty, 1);
+            anchor.matrix_mut().add(y, ty, 1);
+            saved += gain;
+        }
+    }
+    saved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vc_model::{ResourceMatrix, VmCatalog, VmTypeId};
+    use vc_topology::{generate, DistanceTiers, NodeId};
+
+    fn state(rows: &[Vec<u32>], racks: &[usize]) -> ClusterState {
+        let topo = Arc::new(generate::heterogeneous(
+            racks,
+            DistanceTiers::paper_experiment(),
+        ));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        ClusterState::new(topo, cat, ResourceMatrix::from_rows(rows))
+    }
+
+    #[test]
+    fn fifo_blocking_stops_at_first_miss() {
+        let s = state(&[vec![2, 0, 0], vec![2, 0, 0]], &[2]);
+        let queue = vec![
+            Request::from_counts(vec![3, 0, 0]),
+            Request::from_counts(vec![5, 0, 0]), // too big
+            Request::from_counts(vec![1, 0, 0]), // would fit, but blocked
+        ];
+        assert_eq!(get_requests(&queue, &s, Admission::FifoBlocking), vec![0]);
+        assert_eq!(
+            get_requests(&queue, &s, Admission::FifoSkipping),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn admission_respects_running_availability() {
+        let s = state(&[vec![2, 0, 0], vec![2, 0, 0]], &[2]);
+        let queue = vec![
+            Request::from_counts(vec![3, 0, 0]),
+            Request::from_counts(vec![2, 0, 0]), // only 1 left
+        ];
+        assert_eq!(get_requests(&queue, &s, Admission::FifoSkipping), vec![0]);
+    }
+
+    #[test]
+    fn place_queue_serves_and_accounts() {
+        let s = state(
+            &[vec![2, 2, 2], vec![2, 2, 2], vec![2, 2, 2], vec![2, 2, 2]],
+            &[2, 2],
+        );
+        let queue = vec![
+            Request::from_counts(vec![2, 1, 0]),
+            Request::from_counts(vec![1, 1, 1]),
+        ];
+        let out = place_queue(&queue, &s, Admission::FifoBlocking).unwrap();
+        assert_eq!(out.served.len(), 2);
+        assert!(out.deferred.is_empty());
+        assert!(out.optimized_distance <= out.online_distance);
+        for (idx, alloc) in &out.served {
+            assert!(alloc.satisfies(&queue[*idx]));
+        }
+        // Combined allocations respect capacity.
+        let mut check = s.clone();
+        for (_, alloc) in &out.served {
+            check.allocate(alloc).unwrap();
+        }
+    }
+
+    #[test]
+    fn transfer_improves_crafted_pair() {
+        // Topology: rack0 = {0,1}, rack1 = {2,3}. Cluster A centred at 0
+        // holds a VM on node 2 (cross-rack, d=2); cluster B centred at 2
+        // holds a VM on node 1 (cross-rack from 2).
+        let topo = generate::heterogeneous(&[2, 2], DistanceTiers::paper_experiment());
+        let mut a = Allocation::new(
+            ResourceMatrix::from_rows(&[vec![1], vec![0], vec![1], vec![0]]),
+            NodeId(0),
+        );
+        let mut b = Allocation::new(
+            ResourceMatrix::from_rows(&[vec![0], vec![1], vec![1], vec![0]]),
+            NodeId(2),
+        );
+        let before = distance_with_center(a.matrix(), &topo, a.center())
+            + distance_with_center(b.matrix(), &topo, b.center());
+        let saved = transfer(&mut a, &mut b, &topo);
+        let after = distance_with_center(a.matrix(), &topo, a.center())
+            + distance_with_center(b.matrix(), &topo, b.center());
+        assert_eq!(before - after, saved);
+        assert!(saved > 0, "crafted swap should improve");
+        // A's stray VM moved onto node 1 (same rack as its centre); B's onto
+        // its own centre.
+        assert_eq!(a.matrix().get(NodeId(1), VmTypeId(0)), 1);
+        assert_eq!(a.matrix().get(NodeId(2), VmTypeId(0)), 0);
+        assert_eq!(b.matrix().get(NodeId(2), VmTypeId(0)), 2);
+    }
+
+    #[test]
+    fn transfer_is_capacity_neutral() {
+        let topo = generate::heterogeneous(&[2, 2], DistanceTiers::paper_experiment());
+        let mut a = Allocation::new(
+            ResourceMatrix::from_rows(&[vec![1], vec![0], vec![1], vec![0]]),
+            NodeId(0),
+        );
+        let mut b = Allocation::new(
+            ResourceMatrix::from_rows(&[vec![0], vec![1], vec![1], vec![0]]),
+            NodeId(2),
+        );
+        let mut combined_before = a.matrix().clone();
+        combined_before.checked_add_assign(b.matrix());
+        let _ = transfer(&mut a, &mut b, &topo);
+        let mut combined_after = a.matrix().clone();
+        combined_after.checked_add_assign(b.matrix());
+        assert_eq!(combined_before, combined_after);
+    }
+
+    #[test]
+    fn transfer_preserves_request_sizes() {
+        let topo = generate::heterogeneous(&[2, 2], DistanceTiers::paper_experiment());
+        let mut a = Allocation::new(
+            ResourceMatrix::from_rows(&[vec![2], vec![0], vec![1], vec![0]]),
+            NodeId(0),
+        );
+        let mut b = Allocation::new(
+            ResourceMatrix::from_rows(&[vec![0], vec![1], vec![2], vec![0]]),
+            NodeId(2),
+        );
+        let (ta, tb) = (a.total_vms(), b.total_vms());
+        let _ = transfer(&mut a, &mut b, &topo);
+        assert_eq!(a.total_vms(), ta);
+        assert_eq!(b.total_vms(), tb);
+    }
+
+    #[test]
+    fn same_center_pairs_untouched() {
+        let topo = generate::heterogeneous(&[2, 2], DistanceTiers::paper_experiment());
+        let mut a = Allocation::new(
+            ResourceMatrix::from_rows(&[vec![1], vec![0], vec![1], vec![0]]),
+            NodeId(0),
+        );
+        let mut b = a.clone();
+        let before = (a.clone(), b.clone());
+        assert_eq!(transfer(&mut a, &mut b, &topo), 0);
+        assert_eq!((a, b), before);
+    }
+
+    #[test]
+    fn suboptimize_never_increases_total() {
+        let s = state(
+            &[
+                vec![1, 1, 1],
+                vec![1, 1, 1],
+                vec![1, 1, 1],
+                vec![1, 1, 1],
+                vec![1, 1, 1],
+                vec![1, 1, 1],
+            ],
+            &[3, 3],
+        );
+        let queue = vec![
+            Request::from_counts(vec![2, 1, 0]),
+            Request::from_counts(vec![1, 2, 0]),
+            Request::from_counts(vec![0, 0, 2]),
+        ];
+        let out = place_queue(&queue, &s, Admission::FifoBlocking).unwrap();
+        assert!(out.optimized_distance <= out.online_distance);
+    }
+}

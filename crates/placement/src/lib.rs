@@ -1,0 +1,43 @@
+//! Affinity-aware virtual cluster placement — the paper's core
+//! contribution (§III–§IV).
+//!
+//! Provides:
+//!
+//! * [`distance`] — the **cluster distance** metric `DC(C)` (Definition 1)
+//!   and per-centre distance profiles;
+//! * [`exact`] — an exact Shortest-Distance solver built on the
+//!   fixed-centre decomposition (plus a brute-force enumerator for
+//!   cross-validation on tiny instances);
+//! * [`ilp`] — the paper's §III-B integer-programming formulation, solved
+//!   with the from-scratch `vc-ilp` MILP solver (one ILP per candidate
+//!   centre);
+//! * [`online`] — **Algorithm 1**, the `O(n²m)` online greedy heuristic;
+//! * [`global`] — **Algorithm 2**, the global sub-optimisation pass with
+//!   Theorem-2 VM exchanges over a request queue;
+//! * [`gsd`] — the §III-C Global Shortest Distance optimum, exactly, for
+//!   small instances (centre-tuple enumeration × transportation ILPs);
+//! * [`baselines`] — affinity-oblivious policies (random, first-fit,
+//!   best-fit, spread) used as experimental comparators;
+//! * [`migration`] — node-failure repair and affinity-driven VM
+//!   rebalancing (the paper's §VII future work);
+//! * [`theorems`] — Theorems 1 and 2 as checkable predicates, exercised by
+//!   the property-test suite;
+//! * [`PlacementPolicy`] — the object-safe strategy interface used by the
+//!   cloud simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod distance;
+pub mod exact;
+pub mod global;
+pub mod gsd;
+pub mod ilp;
+pub mod migration;
+pub mod online;
+pub mod theorems;
+
+mod policy;
+
+pub use policy::{PlacementError, PlacementPolicy};

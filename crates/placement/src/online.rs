@@ -1,0 +1,243 @@
+//! **Algorithm 1** — the online greedy VM-placement heuristic (paper §IV-A).
+//!
+//! For each candidate *seed* node the heuristic allocates as much of the
+//! request as possible on the seed, then fills from the seed's rack
+//! neighbours, then from the remaining nodes — always preferring nodes
+//! that can provide more resources (Theorem 1 justifies nearest-first
+//! filling). The seed whose completed allocation has the smallest
+//! seed-centred distance wins and becomes the cluster's central node.
+//!
+//! Complexity: `O(n² m)` for `n` nodes and `m` VM types (each of the `n`
+//! seeds scans all nodes once; per-node work is `O(m)`), plus the
+//! `O(n² log n)` list sorts — matching the paper's stated bound.
+
+use crate::distance::distance_with_center;
+use crate::policy::{check_admissible, PlacementError, PlacementPolicy};
+use vc_model::{Allocation, ClusterState, Request, ResourceMatrix};
+use vc_topology::NodeId;
+
+/// Place `request` with the online heuristic.
+///
+/// Returns an error if the request is refused (over capacity) or must be
+/// queued (over current availability); otherwise always succeeds.
+///
+/// ```
+/// use std::sync::Arc;
+/// use vc_model::{ClusterState, Request, VmCatalog};
+/// use vc_placement::online;
+/// use vc_topology::{generate, DistanceTiers};
+///
+/// let topo = Arc::new(generate::uniform(3, 10, DistanceTiers::paper_experiment()));
+/// let cloud = ClusterState::uniform_capacity(topo, Arc::new(VmCatalog::ec2_table1()), 2);
+/// let request = Request::from_counts(vec![2, 4, 1]);
+/// let allocation = online::place(&request, &cloud).unwrap();
+/// assert!(allocation.satisfies(&request));
+/// assert!(allocation.rack_span(cloud.topology()) == 1); // compact
+/// ```
+pub fn place(request: &Request, state: &ClusterState) -> Result<Allocation, PlacementError> {
+    check_admissible(request, state)?;
+    let topo = state.topology();
+    let remaining = state.remaining();
+    let n = state.num_nodes();
+    let m = state.num_types();
+
+    // Fast path (Algorithm 1, first loop): a single node covers the whole
+    // request — distance 0, that node is the centre.
+    for i in topo.node_ids() {
+        if remaining.row_request(i).com(request) == *request {
+            let mut matrix = ResourceMatrix::zeros(n, m);
+            for (ty, count) in request.nonzero() {
+                matrix.set(i, ty, count);
+            }
+            return Ok(Allocation::new(matrix, i));
+        }
+    }
+
+    // How much a node can contribute towards the (full) request — the sort
+    // key for the candidate lists ("the more resources they provide, the
+    // greater chance of being selected").
+    let providable = |node: NodeId| -> u32 { remaining.row_request(node).com(request).total_vms() };
+
+    let mut best: Option<(u64, ResourceMatrix, NodeId)> = None;
+    for seed in topo.node_ids() {
+        let mut matrix = ResourceMatrix::zeros(n, m);
+        let mut outstanding = request.clone();
+
+        let take_from = |node: NodeId, outstanding: &mut Request, matrix: &mut ResourceMatrix| {
+            let take = remaining.row_request(node).com(outstanding);
+            if !take.is_zero() {
+                for (ty, count) in take.nonzero() {
+                    matrix.add(node, ty, count);
+                }
+                outstanding.checked_sub_assign(&take);
+            }
+        };
+
+        take_from(seed, &mut outstanding, &mut matrix);
+
+        if !outstanding.is_zero() {
+            // rackList: same-rack nodes, most-providing first.
+            let mut rack_list = topo.rack_peers(seed);
+            rack_list.sort_by_key(|&node| (std::cmp::Reverse(providable(node)), node));
+            for node in rack_list {
+                if outstanding.is_zero() {
+                    break;
+                }
+                take_from(node, &mut outstanding, &mut matrix);
+            }
+        }
+
+        if !outstanding.is_zero() {
+            // nRackList: remaining nodes, nearest tier first (relevant in
+            // multi-cloud topologies), most-providing first within a tier.
+            let mut non_rack = topo.non_rack_peers(seed);
+            non_rack.sort_by_key(|&node| {
+                (
+                    topo.distance(seed, node),
+                    std::cmp::Reverse(providable(node)),
+                    node,
+                )
+            });
+            for node in non_rack {
+                if outstanding.is_zero() {
+                    break;
+                }
+                take_from(node, &mut outstanding, &mut matrix);
+            }
+        }
+
+        // `can_satisfy` passed, and every seed's sweep visits all nodes, so
+        // the allocation is always complete here.
+        debug_assert!(outstanding.is_zero());
+        let d = distance_with_center(&matrix, topo, seed);
+        if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
+            best = Some((d, matrix, seed));
+        }
+    }
+
+    let (_, matrix, center) = best.ok_or_else(|| PlacementError::Unsatisfiable {
+        request: request.clone(),
+    })?;
+    Ok(Allocation::new(matrix, center))
+}
+
+/// [`PlacementPolicy`] wrapper around [`place`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineHeuristic;
+
+impl PlacementPolicy for OnlineHeuristic {
+    fn name(&self) -> &'static str {
+        "online-heuristic"
+    }
+
+    fn place(
+        &self,
+        request: &Request,
+        state: &ClusterState,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Allocation, PlacementError> {
+        place(request, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use std::sync::Arc;
+    use vc_model::VmCatalog;
+    use vc_topology::{generate, DistanceTiers};
+
+    fn state(rows: &[Vec<u32>], racks: &[usize]) -> ClusterState {
+        let topo = Arc::new(generate::heterogeneous(
+            racks,
+            DistanceTiers::paper_experiment(),
+        ));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        ClusterState::new(topo, cat, ResourceMatrix::from_rows(rows))
+    }
+
+    #[test]
+    fn single_node_fast_path() {
+        let s = state(&[vec![1, 0, 0], vec![3, 3, 3], vec![1, 1, 1]], &[3]);
+        let req = Request::from_counts(vec![2, 1, 1]);
+        let a = place(&req, &s).unwrap();
+        assert!(a.satisfies(&req));
+        assert_eq!(a.span(), 1);
+        assert_eq!(a.center(), NodeId(1));
+    }
+
+    #[test]
+    fn fills_rack_before_crossing() {
+        // rack 0: nodes 0,1 ; rack 1: nodes 2,3. Request needs 3 V0.
+        let s = state(
+            &[vec![2, 0, 0], vec![1, 0, 0], vec![2, 0, 0], vec![2, 0, 0]],
+            &[2, 2],
+        );
+        let req = Request::from_counts(vec![3, 0, 0]);
+        let a = place(&req, &s).unwrap();
+        assert!(a.satisfies(&req));
+        // optimal: 2 on node 0 + 1 on node 1 (distance d1) — never cross-rack.
+        let d = distance_with_center(a.matrix(), s.topology(), a.center());
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn heuristic_never_beats_exact() {
+        let s = state(
+            &[
+                vec![2, 1, 0],
+                vec![1, 0, 1],
+                vec![0, 2, 1],
+                vec![1, 1, 0],
+                vec![2, 0, 1],
+            ],
+            &[2, 3],
+        );
+        for req in [
+            Request::from_counts(vec![2, 1, 1]),
+            Request::from_counts(vec![4, 2, 2]),
+            Request::from_counts(vec![1, 1, 0]),
+            Request::from_counts(vec![6, 4, 3]),
+        ] {
+            let h = place(&req, &s).unwrap();
+            let e = exact::solve(&req, &s).unwrap();
+            let dh = distance_with_center(h.matrix(), s.topology(), h.center());
+            let de = distance_with_center(e.matrix(), s.topology(), e.center());
+            assert!(dh >= de, "heuristic {dh} < exact {de} for {req}");
+            assert!(h.satisfies(&req));
+        }
+    }
+
+    #[test]
+    fn respects_remaining_capacity() {
+        let mut s = state(&[vec![2, 0, 0], vec![2, 0, 0]], &[2]);
+        // Occupy node 0 fully.
+        let first = place(&Request::from_counts(vec![2, 0, 0]), &s).unwrap();
+        s.allocate(&first).unwrap();
+        let second = place(&Request::from_counts(vec![2, 0, 0]), &s).unwrap();
+        assert!(second.matrix().le(&s.remaining()));
+        assert_eq!(second.matrix().get(NodeId(1), vc_model::VmTypeId(0)), 2);
+    }
+
+    #[test]
+    fn queue_signal_when_busy() {
+        let mut s = state(&[vec![1, 0, 0]], &[1]);
+        let a = place(&Request::from_counts(vec![1, 0, 0]), &s).unwrap();
+        s.allocate(&a).unwrap();
+        let err = place(&Request::from_counts(vec![1, 0, 0]), &s).unwrap_err();
+        assert!(matches!(err, PlacementError::Unsatisfiable { .. }));
+    }
+
+    #[test]
+    fn refusal_when_over_capacity() {
+        let s = state(&[vec![1, 0, 0]], &[1]);
+        let err = place(&Request::from_counts(vec![5, 0, 0]), &s).unwrap_err();
+        assert!(matches!(err, PlacementError::Refused { .. }));
+    }
+
+    #[test]
+    fn policy_name() {
+        assert_eq!(OnlineHeuristic.name(), "online-heuristic");
+    }
+}

@@ -1,0 +1,129 @@
+//! The placement-strategy interface shared by all solvers and baselines.
+
+use std::fmt;
+use vc_model::{Allocation, ClusterState, Request};
+
+/// Why a placement attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The request exceeds the cloud's *total* capacity `M` and can never
+    /// be served — the paper refuses such requests outright.
+    Refused {
+        /// The offending request.
+        request: Request,
+    },
+    /// The request exceeds the *currently available* resources `A` — the
+    /// paper queues such requests until allocations are released.
+    Unsatisfiable {
+        /// The offending request.
+        request: Request,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Refused { request } => {
+                write!(
+                    f,
+                    "request {request} exceeds total cloud capacity (refused)"
+                )
+            }
+            Self::Unsatisfiable { request } => {
+                write!(
+                    f,
+                    "request {request} exceeds current availability (queue it)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Validate the paper's two admission conditions (§II): refuse requests
+/// beyond total capacity, defer requests beyond current availability.
+pub(crate) fn check_admissible(
+    request: &Request,
+    state: &ClusterState,
+) -> Result<(), PlacementError> {
+    if !state.fits_capacity(request) {
+        return Err(PlacementError::Refused {
+            request: request.clone(),
+        });
+    }
+    if !state.can_satisfy(request) {
+        return Err(PlacementError::Unsatisfiable {
+            request: request.clone(),
+        });
+    }
+    Ok(())
+}
+
+/// A VM-placement strategy: given a request and the current cloud state,
+/// produce an [`Allocation`] (matrix + central node) without mutating the
+/// state — committing via [`ClusterState::allocate`] is the caller's job.
+///
+/// Implementations must return allocations that
+/// * satisfy the request exactly (`Σ_i C_ij = R_j`), and
+/// * respect remaining capacity (`C_ij ≤ L_ij`).
+///
+/// The `rng` parameter feeds stochastic baselines; deterministic policies
+/// ignore it.
+pub trait PlacementPolicy {
+    /// Stable identifier used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Compute an allocation for `request` against `state`.
+    fn place(
+        &self,
+        request: &Request,
+        state: &ClusterState,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Allocation, PlacementError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vc_model::{ResourceMatrix, VmCatalog};
+    use vc_topology::{generate, DistanceTiers};
+
+    fn state() -> ClusterState {
+        let topo = Arc::new(generate::uniform(1, 2, DistanceTiers::default()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        ClusterState::new(
+            topo,
+            cat,
+            ResourceMatrix::from_rows(&[vec![1, 1, 1], vec![1, 1, 1]]),
+        )
+    }
+
+    #[test]
+    fn admissible_ok() {
+        let s = state();
+        assert!(check_admissible(&Request::from_counts(vec![2, 0, 0]), &s).is_ok());
+    }
+
+    #[test]
+    fn over_capacity_refused() {
+        let s = state();
+        let err = check_admissible(&Request::from_counts(vec![3, 0, 0]), &s).unwrap_err();
+        assert!(matches!(err, PlacementError::Refused { .. }));
+        assert!(err.to_string().contains("refused"));
+    }
+
+    #[test]
+    fn over_availability_unsatisfiable() {
+        let mut s = state();
+        let a = vc_model::Allocation::new(
+            ResourceMatrix::from_rows(&[vec![1, 0, 0], vec![1, 0, 0]]),
+            vc_topology::NodeId(0),
+        );
+        s.allocate(&a).unwrap();
+        let err = check_admissible(&Request::from_counts(vec![1, 0, 0]), &s).unwrap_err();
+        assert!(matches!(err, PlacementError::Unsatisfiable { .. }));
+        assert!(err.to_string().contains("queue"));
+    }
+}

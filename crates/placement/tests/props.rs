@@ -1,0 +1,127 @@
+//! Property tests at paper scale (30 nodes): solver dominance, exchange
+//! soundness, migration invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use vc_model::workload::{random_capacity, RequestProfile};
+use vc_model::{ClusterState, Request, VmCatalog};
+use vc_placement::distance::{cluster_distance, distance_with_center};
+use vc_placement::{baselines, exact, global, migration, online, PlacementPolicy};
+use vc_topology::generate;
+
+fn paper_state(seed: u64) -> ClusterState {
+    let topo = Arc::new(generate::paper_simulation());
+    let catalog = Arc::new(VmCatalog::ec2_table1());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let capacity = random_capacity(&topo, &catalog, 3, &mut rng);
+    ClusterState::new(topo, catalog, capacity)
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    proptest::collection::vec(0u32..7, 3).prop_map(Request::from_counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// At paper scale: heuristic ≥ exact, all baselines ≥ exact, and every
+    /// produced allocation is feasible and complete.
+    #[test]
+    fn exact_lower_bounds_everything(seed in 0u64..500, req in request()) {
+        prop_assume!(!req.is_zero());
+        let state = paper_state(seed);
+        prop_assume!(state.can_satisfy(&req));
+        let opt = exact::solve(&req, &state).unwrap();
+        let (d_opt, _) = cluster_distance(opt.matrix(), state.topology());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(online::OnlineHeuristic),
+            Box::new(baselines::FirstFit),
+            Box::new(baselines::BestFit),
+            Box::new(baselines::Spread),
+            Box::new(baselines::RandomPlacement),
+        ];
+        for p in policies {
+            let a = p.place(&req, &state, &mut rng).unwrap();
+            prop_assert!(a.satisfies(&req), "{}", p.name());
+            prop_assert!(a.matrix().le(&state.remaining()), "{}", p.name());
+            let (d, _) = cluster_distance(a.matrix(), state.topology());
+            prop_assert!(d >= d_opt, "{} beat the optimum: {d} < {d_opt}", p.name());
+        }
+    }
+
+    /// Serving a queue then repairing a random failure keeps the cloud's
+    /// books balanced.
+    #[test]
+    fn failure_repair_conserves_accounting(seed in 0u64..200, failed_node in 0u32..30) {
+        let mut state = paper_state(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 77);
+        let req = RequestProfile::standard().sample(3, &mut rng);
+        prop_assume!(state.can_satisfy(&req));
+        let mut alloc = online::place(&req, &state).unwrap();
+        state.allocate(&alloc).unwrap();
+
+        let failed = vc_topology::NodeId(failed_node);
+        let _aggregate_lost = state.fail_node(failed);
+        match migration::repair(&mut alloc, failed, &mut state) {
+            Ok(report) => {
+                prop_assert!(alloc.satisfies(&req));
+                prop_assert_eq!(alloc.matrix().node_total(failed), 0);
+                prop_assert_eq!(
+                    report.distance_after,
+                    distance_with_center(alloc.matrix(), state.topology(), alloc.center())
+                );
+                // Releasing the repaired allocation empties the cloud.
+                state.release(&alloc).unwrap();
+                prop_assert!(state.used().is_zero());
+            }
+            Err(_) => {
+                // No capacity: allocation is degraded but consistent, and
+                // the surviving VMs can still be released.
+                prop_assert_eq!(alloc.matrix().node_total(failed), 0);
+                state.release(&alloc).unwrap();
+                prop_assert!(state.used().is_zero());
+            }
+        }
+    }
+
+    /// The Theorem-2 pass is idempotent: running `place_queue` and then
+    /// re-applying `suboptimize` to the result finds nothing further.
+    #[test]
+    fn exchange_pass_reaches_fixpoint(seed in 0u64..200) {
+        let state = paper_state(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        let queue = RequestProfile::small().sample_many(3, 6, &mut rng);
+        let mut placed =
+            global::place_queue(&queue, &state, global::Admission::FifoBlocking).unwrap();
+        let topo = state.topology();
+        let mut allocations: Vec<&mut vc_model::Allocation> =
+            placed.served.iter_mut().map(|(_, a)| a).collect();
+        let extra = global::suboptimize(&mut allocations, topo);
+        prop_assert_eq!(extra, 0, "place_queue must already be at the exchange fixpoint");
+    }
+
+    /// Rebalancing with a huge budget is idempotent and never hurts.
+    #[test]
+    fn rebalance_monotone_and_idempotent(seed in 0u64..200) {
+        let mut state = paper_state(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 9);
+        let blocker_req = RequestProfile::standard().sample(3, &mut rng);
+        prop_assume!(state.can_satisfy(&blocker_req));
+        let blocker = online::place(&blocker_req, &state).unwrap();
+        state.allocate(&blocker).unwrap();
+        let req = RequestProfile::standard().sample(3, &mut rng);
+        prop_assume!(state.can_satisfy(&req));
+        let mut alloc = online::place(&req, &state).unwrap();
+        state.allocate(&alloc).unwrap();
+        state.release(&blocker).unwrap();
+
+        let first = migration::rebalance(&mut alloc, &mut state, 64);
+        prop_assert!(first.distance_after <= first.distance_before);
+        prop_assert!(alloc.satisfies(&req));
+        let second = migration::rebalance(&mut alloc, &mut state, 64);
+        prop_assert_eq!(second.moves.len(), 0, "second pass must be a no-op");
+    }
+}

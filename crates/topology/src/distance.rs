@@ -1,0 +1,205 @@
+//! Dense symmetric inter-node distance matrix (`D` in the paper).
+
+// Index-based loops mirror the textbook matrix formulations here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A dense `n × n` symmetric distance matrix with a zero diagonal.
+///
+/// Stored row-major in a single allocation. Distances are unsigned
+/// integers (latency units); the optimisation crates accumulate into
+/// `u64` so overflow is not a practical concern at datacenter scale.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<u32>,
+}
+
+/// Error returned by [`DistanceMatrix::from_rows`] on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistanceMatrixError {
+    /// Row count or a row length differs from `n`.
+    NotSquare {
+        /// Expected dimension.
+        expected: usize,
+        /// Found dimension.
+        found: usize,
+    },
+    /// `D[i][i] != 0` for some `i`.
+    NonZeroDiagonal(usize),
+    /// `D[i][j] != D[j][i]` for some pair.
+    Asymmetric(usize, usize),
+}
+
+impl std::fmt::Display for DistanceMatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotSquare { expected, found } => {
+                write!(
+                    f,
+                    "distance matrix is not square: expected {expected}, found {found}"
+                )
+            }
+            Self::NonZeroDiagonal(i) => write!(f, "D[{i}][{i}] must be 0"),
+            Self::Asymmetric(i, j) => write!(f, "D[{i}][{j}] != D[{j}][{i}]"),
+        }
+    }
+}
+
+impl std::error::Error for DistanceMatrixError {}
+
+impl DistanceMatrix {
+    /// Build from explicit rows, validating squareness, zero diagonal, and
+    /// symmetry.
+    pub fn from_rows(rows: &[Vec<u32>]) -> Result<Self, DistanceMatrixError> {
+        let n = rows.len();
+        for row in rows {
+            if row.len() != n {
+                return Err(DistanceMatrixError::NotSquare {
+                    expected: n,
+                    found: row.len(),
+                });
+            }
+        }
+        for i in 0..n {
+            if rows[i][i] != 0 {
+                return Err(DistanceMatrixError::NonZeroDiagonal(i));
+            }
+            for j in (i + 1)..n {
+                if rows[i][j] != rows[j][i] {
+                    return Err(DistanceMatrixError::Asymmetric(i, j));
+                }
+            }
+        }
+        let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Ok(Self { n, data })
+    }
+
+    /// Build by evaluating `f(i, j)` for every ordered pair, symmetrised by
+    /// construction: only `i ≤ j` is evaluated and mirrored.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> u32) -> Self {
+        let mut data = vec![0u32; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = f(i, j);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Matrix dimension (number of nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty (zero nodes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between nodes `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn get(&self, a: NodeId, b: NodeId) -> u32 {
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "node index out of range"
+        );
+        self.data[a.index() * self.n + b.index()]
+    }
+
+    /// The row of distances from node `a` to every node.
+    #[inline]
+    pub fn row(&self, a: NodeId) -> &[u32] {
+        let i = a.index();
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Maximum distance in the matrix (0 for matrices of dimension ≤ 1).
+    pub fn max_distance(&self) -> u32 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_valid() {
+        let m = DistanceMatrix::from_rows(&[vec![0, 1], vec![1, 0]]).unwrap();
+        assert_eq!(m.get(NodeId(0), NodeId(1)), 1);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = DistanceMatrix::from_rows(&[vec![0, 1], vec![1]]).unwrap_err();
+        assert!(matches!(err, DistanceMatrixError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_nonzero_diagonal() {
+        let err = DistanceMatrix::from_rows(&[vec![1]]).unwrap_err();
+        assert_eq!(err, DistanceMatrixError::NonZeroDiagonal(0));
+    }
+
+    #[test]
+    fn from_rows_rejects_asymmetry() {
+        let err = DistanceMatrix::from_rows(&[vec![0, 1], vec![2, 0]]).unwrap_err();
+        assert_eq!(err, DistanceMatrixError::Asymmetric(0, 1));
+    }
+
+    #[test]
+    fn from_fn_symmetric_zero_diagonal() {
+        let m = DistanceMatrix::from_fn(4, |i, j| (i + j) as u32);
+        for i in 0..4 {
+            assert_eq!(m.get(NodeId(i), NodeId(i)), 0);
+            for j in 0..4 {
+                assert_eq!(m.get(NodeId(i), NodeId(j)), m.get(NodeId(j), NodeId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn row_matches_get() {
+        let m = DistanceMatrix::from_fn(3, |_, _| 7);
+        assert_eq!(m.row(NodeId(1)), &[7, 0, 7]);
+    }
+
+    #[test]
+    fn max_distance() {
+        let m = DistanceMatrix::from_fn(3, |i, j| (i * 3 + j) as u32);
+        assert_eq!(m.max_distance(), 5);
+        assert_eq!(DistanceMatrix::from_fn(1, |_, _| 9).max_distance(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let m = DistanceMatrix::from_fn(2, |_, _| 1);
+        let _ = m.get(NodeId(5), NodeId(0));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DistanceMatrixError::Asymmetric(1, 2);
+        assert_eq!(e.to_string(), "D[1][2] != D[2][1]");
+        let e = DistanceMatrixError::NonZeroDiagonal(3);
+        assert!(e.to_string().contains("D[3][3]"));
+        let e = DistanceMatrixError::NotSquare {
+            expected: 2,
+            found: 1,
+        };
+        assert!(e.to_string().contains("not square"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Dense index newtypes for nodes, racks, and clouds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index as a `usize`, for matrix offsets.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `i` exceeds `u32::MAX`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(u32::try_from(i).expect("index exceeds u32::MAX"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a physical node (`N_i` in the paper), a dense index
+    /// into [`Topology::nodes`](crate::Topology::nodes).
+    NodeId,
+    "N"
+);
+id_type!(
+    /// Identifier of a rack (`R_i` in the paper).
+    RackId,
+    "R"
+);
+id_type!(
+    /// Identifier of a cloud / datacenter.
+    CloudId,
+    "C"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(NodeId(3).to_string(), "N3");
+        assert_eq!(RackId(1).to_string(), "R1");
+        assert_eq!(CloudId(0).to_string(), "C0");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn ordering_by_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "index exceeds u32::MAX")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(usize::MAX);
+    }
+}

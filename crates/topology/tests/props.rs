@@ -1,0 +1,96 @@
+//! Property tests: distance-matrix invariants over random hierarchies.
+
+use proptest::prelude::*;
+use vc_topology::{generate, DistanceMatrix, DistanceTiers, NodeId};
+
+fn tiers() -> impl Strategy<Value = DistanceTiers> {
+    (1u32..10, 1u32..10, 1u32..10).prop_map(|(a, b, c)| {
+        let d1 = a;
+        let d2 = a + b;
+        let d3 = a + b + c;
+        DistanceTiers::new(d1, d2, d3).expect("strictly increasing by construction")
+    })
+}
+
+proptest! {
+    #[test]
+    fn tier_matrices_symmetric_zero_diag_metric(
+        t in tiers(),
+        clouds in 1usize..3,
+        racks in 1usize..3,
+        nodes in 1usize..4,
+    ) {
+        let topo = generate::multi_cloud(clouds, racks, nodes, t);
+        let n = topo.num_nodes();
+        for i in 0..n {
+            let a = NodeId(i as u32);
+            prop_assert_eq!(topo.distance(a, a), 0);
+            for j in 0..n {
+                let b = NodeId(j as u32);
+                prop_assert_eq!(topo.distance(a, b), topo.distance(b, a));
+                // Values come from the tier set.
+                if i != j {
+                    let d = topo.distance(a, b);
+                    prop_assert!(
+                        d == t.same_rack || d == t.cross_rack || d == t.cross_cloud
+                    );
+                }
+            }
+        }
+        prop_assert!(topo.is_metric());
+    }
+
+    #[test]
+    fn nodes_by_distance_is_sorted(
+        t in tiers(),
+        racks in 1usize..4,
+        nodes in 1usize..4,
+        seed in 0usize..16,
+    ) {
+        let topo = generate::uniform(racks, nodes, t);
+        let k = NodeId((seed % topo.num_nodes()) as u32);
+        let order = topo.nodes_by_distance(k);
+        prop_assert_eq!(order.len(), topo.num_nodes());
+        prop_assert_eq!(order[0], k);
+        for w in order.windows(2) {
+            prop_assert!(topo.distance(k, w[0]) <= topo.distance(k, w[1]));
+        }
+    }
+
+    #[test]
+    fn rack_peer_partition(
+        t in tiers(),
+        racks in 1usize..4,
+        nodes in 1usize..4,
+        seed in 0usize..16,
+    ) {
+        let topo = generate::uniform(racks, nodes, t);
+        let x = NodeId((seed % topo.num_nodes()) as u32);
+        let same = topo.rack_peers(x);
+        let other = topo.non_rack_peers(x);
+        // Together with x itself they partition the node set.
+        prop_assert_eq!(same.len() + other.len() + 1, topo.num_nodes());
+        for &p in &same {
+            prop_assert!(topo.same_rack(p, x) && p != x);
+            prop_assert_eq!(topo.distance(p, x), t.same_rack);
+        }
+        for &q in &other {
+            prop_assert!(!topo.same_rack(q, x));
+        }
+    }
+
+    #[test]
+    fn from_fn_matrix_valid(n in 1usize..8, base in 1u32..5) {
+        let m = DistanceMatrix::from_fn(n, |i, j| base + (i + j) as u32);
+        for i in 0..n {
+            prop_assert_eq!(m.get(NodeId(i as u32), NodeId(i as u32)), 0);
+            for j in 0..n {
+                prop_assert_eq!(
+                    m.get(NodeId(i as u32), NodeId(j as u32)),
+                    m.get(NodeId(j as u32), NodeId(i as u32))
+                );
+            }
+        }
+        prop_assert!(m.max_distance() <= base + (2 * n) as u32);
+    }
+}

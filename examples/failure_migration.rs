@@ -1,0 +1,65 @@
+//! Node failure and affinity-aware repair: the paper's §VII future work
+//! made concrete. A provisioned cluster loses a node; the provider
+//! repairs the allocation on surviving capacity, then rebalances when a
+//! neighbour frees up.
+//!
+//! ```sh
+//! cargo run --example failure_migration
+//! ```
+
+use affinity_vc::placement::distance::distance_with_center;
+use affinity_vc::placement::{migration, online};
+use affinity_vc::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let topo = Arc::new(affinity_vc::topology::generate::paper_simulation());
+    let catalog = Arc::new(VmCatalog::ec2_table1());
+    let mut cloud = ClusterState::uniform_capacity(topo, catalog, 1);
+
+    // A neighbour tenant occupies part of rack 0.
+    let neighbour = online::place(&Request::from_counts(vec![4, 4, 0]), &cloud).unwrap();
+    cloud.allocate(&neighbour).unwrap();
+
+    // Our tenant: 6 small + 2 medium VMs.
+    let request = Request::from_counts(vec![6, 2, 0]);
+    let mut cluster = online::place(&request, &cloud).unwrap();
+    cloud.allocate(&cluster).unwrap();
+    let d0 = distance_with_center(cluster.matrix(), cloud.topology(), cluster.center());
+    println!(
+        "provisioned: distance {d0}, centre {}, nodes {:?}",
+        cluster.center(),
+        cluster.matrix().occupied_nodes()
+    );
+
+    // A node hosting our VMs fails.
+    let failed = cluster.matrix().occupied_nodes()[0];
+    let lost = cloud.fail_node(failed);
+    println!("\nnode {failed} failed, losing {lost}");
+
+    let report =
+        migration::repair(&mut cluster, failed, &mut cloud).expect("surviving capacity suffices");
+    println!(
+        "repair: {} move(s), distance {} -> {}, new centre {}",
+        report.moves.len(),
+        report.distance_before,
+        report.distance_after,
+        report.center
+    );
+    for m in &report.moves {
+        println!("  move {}×{} {} -> {}", m.count, m.vm_type, m.from, m.to);
+    }
+    assert!(cluster.satisfies(&request));
+
+    // The neighbour departs; rebalance pulls our stragglers closer.
+    cloud.release(&neighbour).unwrap();
+    let report = migration::rebalance(&mut cluster, &mut cloud, 8);
+    println!(
+        "\nneighbour left; rebalance: {} move(s), distance {} -> {}",
+        report.moves.len(),
+        report.distance_before,
+        report.distance_after
+    );
+    assert!(cluster.satisfies(&request));
+    println!("final nodes: {:?}", cluster.matrix().occupied_nodes());
+}

@@ -1,0 +1,69 @@
+//! Solve the paper's Shortest-Distance problem three ways — the §III-B
+//! integer program (via the from-scratch `vc-ilp` simplex + branch &
+//! bound), the exact fixed-centre decomposition, and Algorithm 1 — and
+//! compare answers and wall-clock cost.
+//!
+//! ```sh
+//! cargo run --release --example ilp_vs_greedy
+//! ```
+
+use affinity_vc::model::workload::RequestProfile;
+use affinity_vc::placement::distance::distance_with_center;
+use affinity_vc::placement::{exact, ilp, online};
+use affinity_vc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let topo = Arc::new(affinity_vc::topology::generate::paper_simulation());
+    let catalog = Arc::new(VmCatalog::ec2_table1());
+    let mut rng = StdRng::seed_from_u64(99);
+    let capacity = affinity_vc::model::workload::random_capacity(&topo, &catalog, 3, &mut rng);
+    let cloud = ClusterState::new(topo, catalog, capacity);
+
+    println!(
+        "{:>3} {:24} {:>8} {:>8} {:>8}   agreement",
+        "#", "request", "greedy", "exact", "ILP"
+    );
+    let (mut t_greedy, mut t_exact, mut t_ilp) = (0.0f64, 0.0f64, 0.0f64);
+    for i in 0..8 {
+        let request = RequestProfile::standard().sample(3, &mut rng);
+        if !cloud.can_satisfy(&request) {
+            continue;
+        }
+        let topo = cloud.topology();
+
+        let t = Instant::now();
+        let g = online::place(&request, &cloud).unwrap();
+        t_greedy += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let e = exact::solve(&request, &cloud).unwrap();
+        t_exact += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let l = ilp::solve(&request, &cloud).unwrap();
+        t_ilp += t.elapsed().as_secs_f64();
+
+        let dg = distance_with_center(g.matrix(), topo, g.center());
+        let de = distance_with_center(e.matrix(), topo, e.center());
+        let dl = distance_with_center(l.matrix(), topo, l.center());
+        assert_eq!(de, dl, "ILP must agree with the exact solver");
+        let tag = if dg == de {
+            "greedy optimal"
+        } else {
+            "greedy suboptimal"
+        };
+        println!(
+            "{i:>3} {:24} {dg:>8} {de:>8} {dl:>8}   {tag}",
+            request.to_string()
+        );
+    }
+    println!(
+        "\ntotal solve time: greedy {:.1}ms, exact {:.1}ms, ILP {:.0}ms",
+        t_greedy * 1e3,
+        t_exact * 1e3,
+        t_ilp * 1e3
+    );
+    println!("The O(n²m) heuristic is near-optimal at a fraction of the ILP's cost.");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: provision an affinity-aware virtual cluster and compare it
+//! against a locality-oblivious baseline.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use affinity_vc::placement::baselines::Spread;
+use affinity_vc::placement::distance::distance_with_center;
+use affinity_vc::placement::{exact, online, PlacementPolicy};
+use affinity_vc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Describe the cloud: 3 racks × 10 nodes (the paper's simulation
+    //    setup), EC2 Table-I VM types, 2 instances of each type per node.
+    let topo = Arc::new(affinity_vc::topology::generate::paper_simulation());
+    let catalog = Arc::new(VmCatalog::ec2_table1());
+    let mut cloud = ClusterState::uniform_capacity(topo, catalog, 2);
+    println!(
+        "cloud: {} racks, {} nodes, availability {}",
+        cloud.topology().num_racks(),
+        cloud.num_nodes(),
+        cloud.availability()
+    );
+
+    // 2. A user requests a virtual cluster: 2 small + 4 medium + 1 large.
+    let request = Request::from_counts(vec![2, 4, 1]);
+    println!("request: {request}");
+
+    // 3. Place it three ways.
+    let mut rng = StdRng::seed_from_u64(42);
+    let heuristic = online::place(&request, &cloud).expect("cloud has room");
+    let optimal = exact::solve(&request, &cloud).expect("cloud has room");
+    let spread = Spread
+        .place(&request, &cloud, &mut rng)
+        .expect("cloud has room");
+
+    for (name, alloc) in [
+        ("Algorithm 1 (online heuristic)", &heuristic),
+        ("exact shortest-distance", &optimal),
+        ("spread baseline", &spread),
+    ] {
+        let d = distance_with_center(alloc.matrix(), cloud.topology(), alloc.center());
+        println!(
+            "{name:32} distance = {d:2}, centre = {}, spans {} nodes / {} racks",
+            alloc.center(),
+            alloc.span(),
+            alloc.rack_span(cloud.topology()),
+        );
+    }
+
+    // 4. Commit the heuristic allocation and run WordCount on it.
+    cloud.allocate(&heuristic).expect("fits");
+    let cluster =
+        VirtualCluster::from_allocation(&heuristic, cloud.catalog(), cloud.topology_arc());
+    let job = JobConfig::paper_wordcount();
+    let metrics = affinity_vc::mapreduce::simulate_job(
+        &cluster,
+        &job,
+        &affinity_vc::mapreduce::engine::SimParams::default(),
+    );
+    println!(
+        "\nWordCount on the provisioned cluster: runtime {:.1}s, {} of {} maps data-local, {:.0}% of shuffle stayed local",
+        metrics.runtime.as_secs_f64(),
+        metrics.data_local_maps,
+        metrics.num_maps,
+        100.0 * (1.0 - metrics.non_local_shuffle_fraction()),
+    );
+}

@@ -1,0 +1,244 @@
+//! Cross-crate integration tests: request → placement → commitment →
+//! MapReduce execution, exercising the full pipeline a user would run.
+
+use affinity_vc::mapreduce::engine::SimParams;
+use affinity_vc::placement::distance::{cluster_distance, distance_with_center};
+use affinity_vc::placement::{baselines, exact, global, online, PlacementPolicy};
+use affinity_vc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn paper_cloud(per_node: u32) -> ClusterState {
+    let topo = Arc::new(affinity_vc::topology::generate::paper_simulation());
+    let catalog = Arc::new(VmCatalog::ec2_table1());
+    ClusterState::uniform_capacity(topo, catalog, per_node)
+}
+
+#[test]
+fn request_to_mapreduce_pipeline() {
+    let mut cloud = paper_cloud(2);
+    let request = Request::from_counts(vec![2, 4, 1]);
+
+    let allocation = online::place(&request, &cloud).expect("cloud has room");
+    assert!(allocation.satisfies(&request));
+    cloud.allocate(&allocation).expect("allocation fits");
+
+    let cluster =
+        VirtualCluster::from_allocation(&allocation, cloud.catalog(), cloud.topology_arc());
+    assert_eq!(cluster.len(), 7);
+    assert_eq!(cluster.master(), allocation.center());
+
+    let metrics = affinity_vc::mapreduce::simulate_job(
+        &cluster,
+        &JobConfig::paper_wordcount(),
+        &SimParams::default(),
+    );
+    assert_eq!(metrics.num_maps, 32);
+    assert!(metrics.runtime > SimTime::ZERO);
+    assert_eq!(
+        metrics.data_local_maps + metrics.rack_local_maps + metrics.remote_maps,
+        32
+    );
+
+    cloud.release(&allocation).expect("release succeeds");
+    assert_eq!(cloud.used().total(), 0);
+}
+
+#[test]
+fn compact_placement_beats_spread_placement_end_to_end() {
+    let cloud = paper_cloud(2);
+    let request = Request::from_counts(vec![4, 4, 2]);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let compact = online::place(&request, &cloud).unwrap();
+    let spread = baselines::Spread.place(&request, &cloud, &mut rng).unwrap();
+
+    let d_compact = distance_with_center(compact.matrix(), cloud.topology(), compact.center());
+    let d_spread = distance_with_center(spread.matrix(), cloud.topology(), spread.center());
+    assert!(d_compact < d_spread, "affinity-aware must be tighter");
+
+    // A shuffle-heavy job runs faster on the tighter cluster.
+    let job = JobConfig {
+        workload: Workload::terasort(),
+        input_mb: 16.0 * 64.0,
+        split_mb: 64.0,
+        num_reducers: 2,
+        replication: 3,
+    };
+    let run = |alloc: &Allocation| {
+        let cluster = VirtualCluster::from_allocation(alloc, cloud.catalog(), cloud.topology_arc());
+        affinity_vc::mapreduce::simulate_job(&cluster, &job, &SimParams::default()).runtime
+    };
+    let t_compact = run(&compact);
+    let t_spread = run(&spread);
+    assert!(
+        t_compact <= t_spread,
+        "compact {t_compact} should not be slower than spread {t_spread}"
+    );
+}
+
+#[test]
+fn all_policies_agree_on_feasibility_and_validity() {
+    let cloud = paper_cloud(1);
+    let mut rng = StdRng::seed_from_u64(17);
+    let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+        Box::new(online::OnlineHeuristic),
+        Box::new(exact::ExactSd),
+        Box::new(baselines::FirstFit),
+        Box::new(baselines::BestFit),
+        Box::new(baselines::Spread),
+        Box::new(baselines::RandomPlacement),
+    ];
+    let profile = affinity_vc::model::workload::RequestProfile::standard();
+    for _ in 0..10 {
+        let request = profile.sample(3, &mut rng);
+        let feasible = cloud.can_satisfy(&request);
+        for policy in &policies {
+            match policy.place(&request, &cloud, &mut rng) {
+                Ok(alloc) => {
+                    assert!(feasible, "{} placed an infeasible request", policy.name());
+                    assert!(
+                        alloc.satisfies(&request),
+                        "{} shorted the request",
+                        policy.name()
+                    );
+                    assert!(
+                        alloc.matrix().le(&cloud.remaining()),
+                        "{} over-committed",
+                        policy.name()
+                    );
+                }
+                Err(_) => assert!(!feasible, "{} failed a feasible request", policy.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn global_batch_improves_or_ties_online_sum() {
+    let cloud = paper_cloud(1);
+    let profile = affinity_vc::model::workload::RequestProfile::small();
+    let mut rng = StdRng::seed_from_u64(23);
+    let queue = profile.sample_many(3, 20, &mut rng);
+    let placed = global::place_queue(&queue, &cloud, global::Admission::FifoBlocking).unwrap();
+    assert!(placed.optimized_distance <= placed.online_distance);
+    // Everything served is mutually feasible.
+    let mut check = cloud.clone();
+    for (_, alloc) in &placed.served {
+        check.allocate(alloc).expect("combined allocations fit");
+    }
+}
+
+#[test]
+fn exact_solver_is_a_lower_bound_for_every_policy() {
+    let cloud = paper_cloud(1);
+    let mut rng = StdRng::seed_from_u64(31);
+    let profile = affinity_vc::model::workload::RequestProfile::standard();
+    for _ in 0..10 {
+        let request = profile.sample(3, &mut rng);
+        if !cloud.can_satisfy(&request) {
+            continue;
+        }
+        let optimal = exact::solve(&request, &cloud).unwrap();
+        let (d_opt, _) = cluster_distance(optimal.matrix(), cloud.topology());
+        let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(online::OnlineHeuristic),
+            Box::new(baselines::FirstFit),
+            Box::new(baselines::BestFit),
+            Box::new(baselines::Spread),
+            Box::new(baselines::RandomPlacement),
+        ];
+        for policy in policies {
+            let alloc = policy.place(&request, &cloud, &mut rng).unwrap();
+            let (d, _) = cluster_distance(alloc.matrix(), cloud.topology());
+            assert!(
+                d >= d_opt,
+                "{} produced {d} below the optimum {d_opt}",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cloudsim_trace_conserves_resources() {
+    use affinity_vc::cloudsim::sim::{run, PolicyMode, SimConfig};
+    use affinity_vc::cloudsim::ArrivalProcess;
+
+    let cloud = paper_cloud(2);
+    let trace = ArrivalProcess::paper_standard().generate(25, 3, &mut StdRng::seed_from_u64(3));
+    let result = run(
+        &cloud,
+        SimConfig::new(
+            trace,
+            PolicyMode::Individual(Box::new(online::OnlineHeuristic)),
+            3,
+        ),
+    );
+    assert_eq!(result.served + result.refused, 25);
+    assert_eq!(
+        result.refused, 0,
+        "uniform capacity 2 fits every standard request"
+    );
+    // Waits only happen under contention; outcomes must be internally consistent.
+    for o in &result.outcomes {
+        let started = o.started.expect("served");
+        assert!(started >= o.arrival);
+        assert!(o.finished.unwrap() > started);
+        assert!(o.distance.unwrap() <= 200, "distance sane");
+    }
+}
+
+/// Pin the headline Fig. 7/8 reproduction: compact cluster fastest, and
+/// the paper's d=14-slower-than-d=16 anomaly present with its locality
+/// explanation (fewer data-local maps at d=14).
+#[test]
+fn fig7_shape_reproduces_with_anomaly() {
+    use affinity_vc::mapreduce::VirtualCluster;
+
+    let topo = Arc::new(affinity_vc::topology::generate::paper_simulation());
+    let spreads = [(2usize, 10usize, 0usize), (2, 6, 4), (2, 4, 6), (2, 0, 10)];
+    let metrics: Vec<_> = spreads
+        .iter()
+        .map(|&(on_master, same_rack, cross_rack)| {
+            let mut nodes = vec![NodeId(0); on_master];
+            nodes.extend((0..same_rack).map(|i| NodeId(1 + (i % 9) as u32)));
+            nodes.extend((0..cross_rack).map(|i| NodeId(10 + (i % 20) as u32)));
+            let cluster = VirtualCluster::homogeneous(&nodes, nodes.len(), Arc::clone(&topo));
+            affinity_vc::mapreduce::simulate_job(
+                &cluster,
+                &JobConfig::paper_wordcount(),
+                &SimParams::default(),
+            )
+        })
+        .collect();
+
+    let distances: Vec<u64> = metrics.iter().map(|m| m.cluster_distance).collect();
+    assert_eq!(distances, vec![10, 14, 16, 20]);
+    // Compact strictly fastest.
+    for m in &metrics[1..] {
+        assert!(
+            metrics[0].runtime < m.runtime,
+            "compact ({}) must beat d={} ({})",
+            metrics[0].runtime,
+            m.cluster_distance,
+            m.runtime
+        );
+    }
+    // The paper's anomaly: d=14 slower than d=16, explained by locality.
+    assert!(metrics[1].runtime > metrics[2].runtime, "14-vs-16 anomaly");
+    assert!(
+        metrics[1].data_local_maps < metrics[2].data_local_maps,
+        "anomaly must be locality-driven"
+    );
+    // Cross-rack shuffle grows monotonically with distance (Fig. 8).
+    let cross: Vec<f64> = metrics
+        .iter()
+        .map(|m| m.cross_rack_shuffle_fraction())
+        .collect();
+    assert!(
+        cross.windows(2).all(|w| w[0] <= w[1]),
+        "cross-rack shuffle monotone: {cross:?}"
+    );
+}

@@ -1,0 +1,157 @@
+//! Each of the paper's quantitative claims, encoded as an executable
+//! check at the paper's own scale (3 racks × 10 nodes, Table-I types).
+
+use affinity_vc::model::workload::RequestProfile;
+use affinity_vc::placement::{baselines, distance, global, online, theorems};
+use affinity_vc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn paper_cloud(seed: u64) -> ClusterState {
+    let topo = Arc::new(affinity_vc::topology::generate::paper_simulation());
+    let catalog = Arc::new(VmCatalog::ec2_table1());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let capacity = affinity_vc::model::workload::random_capacity(&topo, &catalog, 3, &mut rng);
+    ClusterState::new(topo, catalog, capacity)
+}
+
+/// §V-A / Fig. 2: the heuristic's centre never loses to a random centre on
+/// the same cluster — across many seeds and requests.
+#[test]
+fn claim_fig2_heuristic_center_dominates_random() {
+    let mut dominated = 0u32;
+    let mut total = 0u32;
+    for seed in 0..10u64 {
+        let state = paper_cloud(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1F2);
+        for request in RequestProfile::standard().sample_many(3, 10, &mut rng) {
+            if !state.can_satisfy(&request) {
+                continue;
+            }
+            let alloc = online::place(&request, &state).unwrap();
+            let topo = state.topology();
+            let chosen = distance::distance_with_center(alloc.matrix(), topo, alloc.center());
+            let random_c = baselines::random_center(&alloc, &mut rng);
+            let random = distance::distance_with_center(alloc.matrix(), topo, random_c);
+            assert!(chosen <= random, "heuristic centre must be minimal");
+            total += 1;
+            if random > chosen {
+                dominated += 1;
+            }
+        }
+    }
+    assert!(total >= 50, "enough samples");
+    assert!(
+        dominated * 3 >= total,
+        "a random centre should often be strictly worse ({dominated}/{total})"
+    );
+}
+
+/// §V-A / Figs. 5–6: Algorithm 2 never increases the total distance, and
+/// its *relative* benefit is larger on the small-request scenario than the
+/// standard one (paper: 12 % vs 2 %), in aggregate across seeds.
+#[test]
+fn claim_fig5_fig6_global_gain_larger_for_small_requests() {
+    let gain = |profile: RequestProfile| -> (u64, u64) {
+        let (mut online_sum, mut global_sum) = (0u64, 0u64);
+        for seed in 0..12u64 {
+            let state = paper_cloud(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xAB);
+            let queue = profile.sample_many(3, 20, &mut rng);
+            let placed =
+                global::place_queue(&queue, &state, global::Admission::FifoBlocking).unwrap();
+            assert!(placed.optimized_distance <= placed.online_distance);
+            online_sum += placed.online_distance;
+            global_sum += placed.optimized_distance;
+        }
+        (online_sum, global_sum)
+    };
+    let (std_on, std_gl) = gain(RequestProfile::standard());
+    let (sm_on, sm_gl) = gain(RequestProfile::small());
+    let std_pct = (std_on - std_gl) as f64 / std_on.max(1) as f64;
+    let sm_pct = (sm_on - sm_gl) as f64 / sm_on.max(1) as f64;
+    assert!(
+        sm_pct >= std_pct,
+        "small-request gain ({sm_pct:.3}) must be at least the standard gain ({std_pct:.3})"
+    );
+}
+
+/// §II admission semantics: over total capacity → refuse; over current
+/// availability (but within capacity) → queue.
+#[test]
+fn claim_admission_refuse_vs_queue() {
+    let mut state = paper_cloud(3);
+    let capacity = state.capacity().column_sums();
+    let over_capacity = Request::from_counts(capacity.counts().iter().map(|&c| c + 1).collect());
+    assert!(matches!(
+        online::place(&over_capacity, &state),
+        Err(PlacementError::Refused { .. })
+    ));
+
+    // Occupy everything of type 0, then ask for one more.
+    let all_v0 = Request::from_pairs(3, &[(VmTypeId(0), capacity.counts()[0])]);
+    let alloc = online::place(&all_v0, &state).unwrap();
+    state.allocate(&alloc).unwrap();
+    let one_more = Request::from_pairs(3, &[(VmTypeId(0), 1)]);
+    assert!(matches!(
+        online::place(&one_more, &state),
+        Err(PlacementError::Unsatisfiable { .. })
+    ));
+}
+
+/// Theorem 1 at paper scale: moving any VM strictly closer to the centre
+/// strictly reduces the fixed-centre distance, by exactly the distance
+/// difference.
+#[test]
+fn claim_theorem1_at_paper_scale() {
+    let state = paper_cloud(7);
+    let mut rng = StdRng::seed_from_u64(99);
+    let request = RequestProfile::standard().sample(3, &mut rng);
+    let alloc = online::place(&request, &state).unwrap();
+    let topo = state.topology();
+    let center = alloc.center();
+    for from in alloc.matrix().occupied_nodes() {
+        for to in topo.node_ids() {
+            let ty = (0..3)
+                .map(VmTypeId::from_index)
+                .find(|&t| alloc.matrix().get(from, t) > 0)
+                .unwrap();
+            let (before, after) =
+                theorems::theorem1_move(alloc.matrix(), topo, center, from, to, ty);
+            let predicted = theorems::theorem1_predicted_delta(topo, center, from, to);
+            assert_eq!(after as i64 - before as i64, predicted);
+            if topo.distance(center, to) < topo.distance(center, from) {
+                assert!(
+                    after < before,
+                    "Theorem 1: nearer node must reduce distance"
+                );
+            }
+        }
+    }
+}
+
+/// §IV-A complexity claim sanity: Algorithm 1 stays fast as the cloud
+/// grows (not a timing benchmark — an upper bound against quadratic
+/// blow-up in observable work via the resulting allocation validity).
+#[test]
+fn claim_algorithm1_scales_to_larger_clouds() {
+    for (racks, nodes) in [(3usize, 10usize), (6, 20), (10, 30)] {
+        let topo = Arc::new(affinity_vc::topology::generate::uniform(
+            racks,
+            nodes,
+            DistanceTiers::paper_experiment(),
+        ));
+        let catalog = Arc::new(VmCatalog::ec2_table1());
+        let state = ClusterState::uniform_capacity(topo, catalog, 2);
+        let request = Request::from_counts(vec![8, 8, 4]);
+        let start = std::time::Instant::now();
+        let alloc = online::place(&request, &state).unwrap();
+        assert!(alloc.satisfies(&request));
+        assert!(
+            start.elapsed().as_millis() < 2_000,
+            "{racks}x{nodes} took {:?}",
+            start.elapsed()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests over the optimisation core: solver correctness,
+//! theorem validity, and metric invariants on randomly generated clouds.
+
+use affinity_vc::placement::distance::{cluster_distance, distance_profile, distance_with_center};
+use affinity_vc::placement::{exact, global, ilp, online, theorems};
+use affinity_vc::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+use vc_model::VmTypeId;
+
+/// A random small cloud: 2–3 racks of 2–3 nodes, 2 VM types, capacities
+/// 0–3 per cell.
+fn small_cloud() -> impl Strategy<Value = ClusterState> {
+    (
+        proptest::collection::vec(2usize..=3, 2..=3),
+        proptest::collection::vec(0u32..=3, 9 * 2),
+    )
+        .prop_map(|(racks, caps)| {
+            let topo = Arc::new(affinity_vc::topology::generate::heterogeneous(
+                &racks,
+                DistanceTiers::paper_experiment(),
+            ));
+            let catalog = Arc::new(two_type_catalog());
+            let n = topo.num_nodes();
+            let rows: Vec<Vec<u32>> = (0..n).map(|i| caps[i * 2..i * 2 + 2].to_vec()).collect();
+            ClusterState::new(topo, catalog, ResourceMatrix::from_rows(&rows))
+        })
+}
+
+fn two_type_catalog() -> VmCatalog {
+    let mut types = VmCatalog::ec2_table1().types().to_vec();
+    types.truncate(2);
+    VmCatalog::new(types)
+}
+
+fn small_request() -> impl Strategy<Value = Request> {
+    proptest::collection::vec(0u32..=3, 2).prop_map(Request::from_counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The greedy fixed-centre solver equals brute force on tiny clouds.
+    #[test]
+    fn exact_matches_brute_force(state in small_cloud(), req in small_request()) {
+        prop_assume!(!req.is_zero());
+        let a = exact::solve(&req, &state);
+        let b = exact::solve_brute(&req, &state);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                let dx = distance_with_center(x.matrix(), state.topology(), x.center());
+                let dy = distance_with_center(y.matrix(), state.topology(), y.center());
+                prop_assert_eq!(dx, dy);
+                prop_assert!(x.satisfies(&req));
+                prop_assert!(x.matrix().le(&state.remaining()));
+            }
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "disagreement: {:?} vs {:?}", x, y),
+        }
+    }
+
+    /// The §III-B integer program agrees with the combinatorial optimum.
+    #[test]
+    fn ilp_matches_exact(state in small_cloud(), req in small_request()) {
+        prop_assume!(!req.is_zero());
+        let a = exact::solve(&req, &state);
+        let b = ilp::solve(&req, &state);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                let dx = distance_with_center(x.matrix(), state.topology(), x.center());
+                let dy = distance_with_center(y.matrix(), state.topology(), y.center());
+                prop_assert_eq!(dx, dy);
+                prop_assert!(y.satisfies(&req));
+            }
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "disagreement: {:?} vs {:?}", x, y),
+        }
+    }
+
+    /// Algorithm 1 always satisfies feasible requests, never over-commits,
+    /// and never beats the optimum.
+    #[test]
+    fn online_sound_and_bounded(state in small_cloud(), req in small_request()) {
+        prop_assume!(!req.is_zero());
+        match online::place(&req, &state) {
+            Ok(h) => {
+                prop_assert!(h.satisfies(&req));
+                prop_assert!(h.matrix().le(&state.remaining()));
+                let opt = exact::solve(&req, &state).expect("exact agrees on feasibility");
+                let dh = distance_with_center(h.matrix(), state.topology(), h.center());
+                let dopt = distance_with_center(opt.matrix(), state.topology(), opt.center());
+                prop_assert!(dh >= dopt);
+            }
+            Err(_) => prop_assert!(!state.can_satisfy(&req)),
+        }
+    }
+
+    /// `DC(C)` really is the minimum of the per-centre profile, and every
+    /// profile entry upper-bounds it.
+    #[test]
+    fn cluster_distance_is_profile_minimum(state in small_cloud(), req in small_request()) {
+        prop_assume!(state.can_satisfy(&req) && !req.is_zero());
+        let alloc = online::place(&req, &state).unwrap();
+        let profile = distance_profile(alloc.matrix(), state.topology());
+        let (d, k) = cluster_distance(alloc.matrix(), state.topology());
+        prop_assert_eq!(d, *profile.iter().min().unwrap());
+        prop_assert_eq!(profile[k.index()], d);
+    }
+
+    /// Theorem 1: moving a VM changes the fixed-centre distance by exactly
+    /// `D[x][to] − D[x][from]`.
+    #[test]
+    fn theorem1_delta_exact(
+        state in small_cloud(),
+        req in small_request(),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(state.can_satisfy(&req) && !req.is_zero());
+        let alloc = online::place(&req, &state).unwrap();
+        let occupied = alloc.matrix().occupied_nodes();
+        prop_assume!(!occupied.is_empty());
+        let from = occupied[(seed as usize) % occupied.len()];
+        let n = state.num_nodes();
+        let to = vc_topology::NodeId(((seed / 7) % n as u64) as u32);
+        let center = alloc.center();
+        // find a type present on `from`
+        let ty = (0..state.num_types())
+            .map(VmTypeId::from_index)
+            .find(|&t| alloc.matrix().get(from, t) > 0)
+            .unwrap();
+        let (before, after) =
+            theorems::theorem1_move(alloc.matrix(), state.topology(), center, from, to, ty);
+        let predicted = theorems::theorem1_predicted_delta(state.topology(), center, from, to);
+        prop_assert_eq!(after as i64 - before as i64, predicted);
+    }
+
+    /// Algorithm 2's exchange pass never increases the total and preserves
+    /// every request exactly.
+    #[test]
+    fn algorithm2_sound(state in small_cloud(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let profile = affinity_vc::model::workload::RequestProfile::small();
+        let queue = profile.sample_many(2, 5, &mut rng);
+        let placed = global::place_queue(&queue, &state, global::Admission::FifoBlocking)
+            .expect("placement of admitted prefix succeeds");
+        prop_assert!(placed.optimized_distance <= placed.online_distance);
+        let mut check = state.clone();
+        for (idx, alloc) in &placed.served {
+            prop_assert!(alloc.satisfies(&queue[*idx]));
+            prop_assert!(check.allocate(alloc).is_ok(), "combined over-commit");
+        }
+    }
+
+    /// Theorem 2's predicted gain matches the tier algebra on any triple.
+    #[test]
+    fn theorem2_gain_formula(
+        racks in proptest::collection::vec(2usize..=3, 2..=3),
+        xi in 0usize..6,
+        yi in 0usize..6,
+        ki in 0usize..6,
+    ) {
+        let topo = affinity_vc::topology::generate::heterogeneous(
+            &racks,
+            DistanceTiers::paper_experiment(),
+        );
+        let n = topo.num_nodes();
+        let (x, y, k) = (
+            vc_topology::NodeId((xi % n) as u32),
+            vc_topology::NodeId((yi % n) as u32),
+            vc_topology::NodeId((ki % n) as u32),
+        );
+        let gain = theorems::theorem2_predicted_gain(&topo, x, y, k);
+        let manual = i64::from(topo.distance(x, y)) + i64::from(topo.distance(y, k))
+            - i64::from(topo.distance(x, k));
+        prop_assert_eq!(gain, manual);
+        // Metric topologies never make the exchange *harmful* beyond zero:
+        prop_assert!(gain >= 0, "tier metrics satisfy the triangle inequality");
+    }
+}
