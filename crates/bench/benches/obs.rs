@@ -1,0 +1,93 @@
+//! Criterion benches for the `vc-obs` observability layer.
+//!
+//! The claim under test: threading a [`NoopRecorder`] through the
+//! simulators is free. `simulate_job` is the uninstrumented baseline
+//! (it monomorphises the recorder away), `noop_recorder` goes through
+//! the `&dyn Recorder` entry point with the no-op sink, and
+//! `mem_recorder` pays for real buffering — the upper bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vc_bench::scenarios;
+use vc_des::{Engine, SimTime};
+use vc_mapreduce::engine::SimParams;
+use vc_mapreduce::{simulate_job, simulate_job_traced, JobConfig};
+use vc_obs::{MemRecorder, NoopRecorder};
+
+fn bench_job_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_job");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
+    let clusters = scenarios::fig7_clusters();
+    let (_, compact) = &clusters[0];
+    let job = JobConfig::paper_wordcount();
+    let params = SimParams::default();
+
+    group.bench_function("baseline", |b| {
+        b.iter(|| simulate_job(black_box(compact), black_box(&job), &params))
+    });
+    group.bench_function("noop_recorder", |b| {
+        b.iter(|| {
+            simulate_job_traced(
+                black_box(compact),
+                black_box(&job),
+                &params,
+                &NoopRecorder,
+                0,
+                0,
+            )
+        })
+    });
+    group.bench_function("mem_recorder", |b| {
+        b.iter(|| {
+            let rec = MemRecorder::new();
+            simulate_job_traced(black_box(compact), black_box(&job), &params, &rec, 0, 0)
+        })
+    });
+    group.finish();
+}
+
+#[derive(Clone, Copy)]
+struct Tick(u64);
+
+impl vc_des::EventKind for Tick {
+    fn kind(&self) -> &'static str {
+        "bench.tick"
+    }
+}
+
+fn bench_des_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_des_pop");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
+    let fill = |engine: &mut Engine<Tick>| {
+        for i in 0..4096u64 {
+            engine.schedule(SimTime::from_micros(i * 7 % 911), Tick(i));
+        }
+    };
+
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new();
+            fill(&mut engine);
+            while let Some((at, Tick(v))) = engine.pop() {
+                black_box((at, v));
+            }
+        })
+    });
+    group.bench_function("traced_noop", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new();
+            fill(&mut engine);
+            while let Some((at, Tick(v))) = engine.pop_traced(&NoopRecorder) {
+                black_box((at, v));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_job_overhead, bench_des_pop);
+criterion_main!(benches);

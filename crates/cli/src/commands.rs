@@ -4,7 +4,7 @@ use crate::args::{ArgError, Parsed};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use vc_cloudsim::sim::{PolicyMode, SimConfig};
+use vc_cloudsim::sim::{PolicyMode, ServiceModel, SimConfig};
 use vc_cloudsim::{ArrivalProcess, ServiceTime};
 use vc_des::SimTime;
 use vc_mapreduce::engine::SimParams;
@@ -12,6 +12,7 @@ use vc_mapreduce::{JobConfig, VirtualCluster, Workload};
 use vc_model::workload::RequestProfile;
 use vc_model::{ClusterState, Request, VmCatalog};
 use vc_netsim::NetworkParams;
+use vc_obs::MemRecorder;
 use vc_placement::distance::distance_with_center;
 use vc_placement::global::Admission;
 use vc_placement::{baselines, exact, ilp, online, PlacementPolicy};
@@ -48,6 +49,46 @@ fn policy_by_name(name: &str) -> Result<Box<dyn PlacementPolicy>, ArgError> {
             )))
         }
     })
+}
+
+fn workload_by_name(name: &str) -> Result<Workload, ArgError> {
+    Ok(match name {
+        "wordcount" => Workload::wordcount(),
+        "wordcount-nocombine" => Workload::wordcount_no_combiner(),
+        "terasort" => Workload::terasort(),
+        "grep" => Workload::grep(),
+        other => return Err(ArgError::new(format!("unknown workload `{other}`"))),
+    })
+}
+
+/// Whether `--trace-out` or `--metrics-out` asks for a recorded run.
+fn wants_observability(p: &Parsed) -> bool {
+    !p.str_or("trace-out", "").is_empty() || !p.str_or("metrics-out", "").is_empty()
+}
+
+/// Write the requested observability artefacts: a Chrome/Perfetto trace
+/// for `--trace-out` and a metrics snapshot for `--metrics-out` (CSV when
+/// the path ends in `.csv`, pretty JSON otherwise).
+fn write_observability(p: &Parsed, rec: &MemRecorder) -> Result<(), ArgError> {
+    match p.str_or("trace-out", "") {
+        "" => {}
+        path => vc_obs::trace::save_chrome_trace(rec, path)
+            .map_err(|e| ArgError::new(format!("--trace-out {path}: {e}")))?,
+    }
+    match p.str_or("metrics-out", "") {
+        "" => {}
+        path => {
+            let snap = rec.metrics();
+            let text = if path.ends_with(".csv") {
+                snap.to_csv()
+            } else {
+                snap.to_json_string()
+            };
+            std::fs::write(path, text)
+                .map_err(|e| ArgError::new(format!("--metrics-out {path}: {e}")))?;
+        }
+    }
+    Ok(())
 }
 
 /// `affinity-vc place`
@@ -118,6 +159,8 @@ pub fn simulate_job(p: &Parsed) -> Result<String, ArgError> {
         "json",
         "speculative",
         "straggler-prob",
+        "trace-out",
+        "metrics-out",
     ])?;
     let spread = p.u32_list("spread")?.unwrap_or_else(|| vec![2, 10, 0]);
     if spread.len() != 3 {
@@ -125,13 +168,7 @@ pub fn simulate_job(p: &Parsed) -> Result<String, ArgError> {
             "--spread must be on_master,same_rack,cross_rack",
         ));
     }
-    let workload = match p.str_or("workload", "wordcount") {
-        "wordcount" => Workload::wordcount(),
-        "wordcount-nocombine" => Workload::wordcount_no_combiner(),
-        "terasort" => Workload::terasort(),
-        "grep" => Workload::grep(),
-        other => return Err(ArgError::new(format!("unknown workload `{other}`"))),
-    };
+    let workload = workload_by_name(p.str_or("workload", "wordcount"))?;
     let maps = p.num_or("maps", 32u32)?;
     let reducers = p.num_or("reducers", 1u32)?;
     if maps == 0 || reducers == 0 {
@@ -161,7 +198,14 @@ pub fn simulate_job(p: &Parsed) -> Result<String, ArgError> {
         speculative_execution: p.switch("speculative"),
         ..SimParams::default()
     };
-    let m = vc_mapreduce::simulate_job(&cluster, &job, &params);
+    let m = if wants_observability(p) {
+        let rec = MemRecorder::new();
+        let m = vc_mapreduce::simulate_job_traced(&cluster, &job, &params, &rec, 0, 0);
+        write_observability(p, &rec)?;
+        m
+    } else {
+        vc_mapreduce::simulate_job(&cluster, &job, &params)
+    };
 
     if p.switch("json") {
         return serde_json::to_string(&m).map_err(|e| ArgError::new(e.to_string()));
@@ -194,6 +238,8 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
         "json",
         "trace",
         "save-trace",
+        "trace-out",
+        "metrics-out",
     ])?;
     let cloud = build_cloud(p)?;
     let count = p.num_or("requests", 20usize)?;
@@ -227,7 +273,15 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
         PolicyMode::Individual(policy_by_name(policy_name)?)
     };
     let total = trace.len();
-    let result = vc_cloudsim::sim::run(&cloud, SimConfig::new(trace, mode, seed));
+    let config = SimConfig::new(trace, mode, seed);
+    let result = if wants_observability(p) {
+        let rec = MemRecorder::new();
+        let result = vc_cloudsim::sim::run_recorded(&cloud, config, &rec);
+        write_observability(p, &rec)?;
+        result
+    } else {
+        vc_cloudsim::sim::run(&cloud, config)
+    };
 
     if p.switch("json") {
         let outcomes: Vec<_> = result
@@ -259,6 +313,115 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
         result.refused,
         result.total_distance,
         result.mean_wait.as_secs_f64(),
+    ))
+}
+
+/// `affinity-vc simulate` (alias `run`) — the end-to-end pipeline:
+/// request queue → affinity-aware placement → MapReduce jobs on the
+/// placed virtual clusters, with the whole run recorded so
+/// `--trace-out`/`--metrics-out` capture every layer at once.
+pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
+    p.ensure_known(&[
+        "requests",
+        "rate",
+        "policy",
+        "racks",
+        "nodes",
+        "capacity",
+        "seed",
+        "json",
+        "service",
+        "workload",
+        "maps",
+        "reducers",
+        "trace-out",
+        "metrics-out",
+    ])?;
+    let cloud = build_cloud(p)?;
+    let count = p.num_or("requests", 10usize)?;
+    let rate = p.num_or("rate", 0.5f64)?;
+    if rate <= 0.0 {
+        return Err(ArgError::new("--rate must be positive"));
+    }
+    let seed = p.num_or("seed", 0u64)?;
+    let process = ArrivalProcess {
+        rate_per_s: rate,
+        profile: RequestProfile::standard(),
+        service: ServiceTime::UniformMs(10_000, 60_000),
+    };
+    let trace = process.generate(count, cloud.num_types(), &mut StdRng::seed_from_u64(seed));
+
+    let policy_name = p.str_or("policy", "global");
+    let mode = if policy_name == "global" {
+        PolicyMode::GlobalBatch(Admission::FifoBlocking)
+    } else {
+        PolicyMode::Individual(policy_by_name(policy_name)?)
+    };
+    let service_name = p.str_or("service", "mapreduce");
+    let service = match service_name {
+        "trace" => ServiceModel::Trace,
+        "mapreduce" => {
+            let maps = p.num_or("maps", 8u32)?;
+            let reducers = p.num_or("reducers", 2u32)?;
+            if maps == 0 || reducers == 0 {
+                return Err(ArgError::new("--maps and --reducers must be positive"));
+            }
+            ServiceModel::MapReduce {
+                job: JobConfig {
+                    workload: workload_by_name(p.str_or("workload", "wordcount"))?,
+                    input_mb: f64::from(maps) * 64.0,
+                    split_mb: 64.0,
+                    num_reducers: reducers,
+                    replication: 3,
+                },
+                params: SimParams::default(),
+            }
+        }
+        other => {
+            return Err(ArgError::new(format!(
+                "unknown service model `{other}` for --service (trace|mapreduce)"
+            )))
+        }
+    };
+
+    let total = trace.len();
+    let rec = MemRecorder::new();
+    let result = vc_cloudsim::sim::run_recorded(
+        &cloud,
+        SimConfig::new(trace, mode, seed).with_service(service),
+        &rec,
+    );
+    write_observability(p, &rec)?;
+    let snap = rec.metrics();
+
+    if p.switch("json") {
+        return Ok(serde_json::json!({
+            "policy": policy_name,
+            "service": service_name,
+            "served": result.served,
+            "refused": result.refused,
+            "total_distance": result.total_distance,
+            "mean_wait_s": result.mean_wait.as_secs_f64(),
+            "events": rec.events().len(),
+            "spans": rec.spans().len(),
+            "counters": snap.counters.len(),
+            "histograms": snap.histograms.len(),
+        })
+        .to_string());
+    }
+    Ok(format!(
+        "policy {policy_name}, service {service_name}: served {}/{} (refused {}), \
+         Σdistance {}, mean wait {:.1}s\n\
+         recorded {} events, {} spans, {} counters, {} histograms\n",
+        result.served,
+        total,
+        result.refused,
+        result.total_distance,
+        result.mean_wait.as_secs_f64(),
+        rec.events().len(),
+        rec.spans().len(),
+        snap.counters.len(),
+        snap.histograms.len(),
     ))
 }
 

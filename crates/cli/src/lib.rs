@@ -9,6 +9,7 @@
 //! affinity-vc place          --request 2,4,1 [--racks 3] [--nodes 10] ...
 //! affinity-vc simulate-job   --spread 2,10,0 [--workload wordcount] ...
 //! affinity-vc simulate-queue --requests 20 [--policy online] ...
+//! affinity-vc simulate       --requests 10 [--service mapreduce] ...
 //! affinity-vc derive-distance [--racks 3] [--nodes 10] [--unit-us 100]
 //! ```
 
@@ -31,6 +32,7 @@ pub fn run(argv: &[String]) -> Result<String, ArgError> {
         "place" => commands::place(&parsed),
         "simulate-job" => commands::simulate_job(&parsed),
         "simulate-queue" => commands::simulate_queue(&parsed),
+        "simulate" | "run" => commands::simulate(&parsed),
         "derive-distance" => commands::derive_distance(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(ArgError::new(format!(
@@ -51,6 +53,7 @@ COMMANDS:
     place             place one VM request on a simulated cloud
     simulate-job      run a MapReduce job on a virtual cluster
     simulate-queue    run a request-queue simulation
+    simulate          end-to-end: queue + placement + MapReduce (alias: run)
     derive-distance   derive a distance matrix from network latencies
     help              show this text
 
@@ -82,6 +85,15 @@ SIMULATE-QUEUE OPTIONS:
                            [default: online]
     --trace <FILE>         replay a saved JSON trace instead of generating
     --save-trace <FILE>    save the generated trace for later replay
+
+SIMULATE OPTIONS:
+    --requests/--rate/--policy as simulate-queue  [default policy: global]
+    --service <S>          trace|mapreduce               [default: mapreduce]
+    --workload/--maps/--reducers as simulate-job (mapreduce service)
+
+OBSERVABILITY (simulate, simulate-job, simulate-queue):
+    --trace-out <FILE>     write a Chrome/Perfetto trace-event timeline
+    --metrics-out <FILE>   write a metrics snapshot (.csv for CSV, else JSON)
 "
     .to_string()
 }
@@ -237,5 +249,148 @@ mod trace_cli_tests {
     fn missing_trace_file_errors() {
         let err = call(&["simulate-queue", "--trace", "/no/such/file.json"]).unwrap_err();
         assert!(err.to_string().contains("I/O"));
+    }
+}
+
+#[cfg(test)]
+mod obs_cli_tests {
+    use super::*;
+    use serde_json::Value;
+
+    fn call(args: &[&str]) -> Result<String, ArgError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    fn tmp(name: &str) -> (std::path::PathBuf, String) {
+        let path = std::env::temp_dir().join(name);
+        let s = path.to_str().unwrap().to_string();
+        (path, s)
+    }
+
+    fn read_json(path: &std::path::Path) -> Value {
+        let text = std::fs::read_to_string(path).expect("output file written");
+        serde_json::from_str(&text).expect("valid JSON")
+    }
+
+    #[test]
+    fn simulate_end_to_end_writes_trace_and_metrics() {
+        let (tp, tps) = tmp("affinity_vc_e2e_trace.json");
+        let (mp, mps) = tmp("affinity_vc_e2e_metrics.json");
+        let out = call(&[
+            "simulate",
+            "--requests",
+            "4",
+            "--maps",
+            "4",
+            "--trace-out",
+            &tps,
+            "--metrics-out",
+            &mps,
+        ])
+        .unwrap();
+        assert!(out.contains("served"), "{out}");
+        assert!(out.contains("spans"), "{out}");
+
+        let trace = read_json(&tp);
+        let metrics = read_json(&mp);
+        std::fs::remove_file(&tp).ok();
+        std::fs::remove_file(&mp).ok();
+
+        let events = trace["traceEvents"].as_array().expect("traceEvents array");
+        let span_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .filter_map(|e| e["name"].as_str())
+            .collect();
+        for required in ["request", "job", "map", "shuffle", "reduce"] {
+            assert!(span_names.contains(&required), "missing {required} span");
+        }
+        let map_span = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("X") && e["name"].as_str() == Some("map"))
+            .unwrap();
+        let locality = map_span["args"]["locality"].as_str().unwrap();
+        assert!(["node_local", "rack_local", "remote"].contains(&locality));
+
+        // Metrics snapshot: placement DC(C) and queue-depth histograms.
+        assert!(metrics["histograms"]["placement.dc"]["count"].as_u64() > Some(0));
+        assert!(metrics["histograms"]["cloudsim.queue_depth"].is_object());
+        assert!(metrics["counters"]["des.events_processed"].as_u64() > Some(0));
+    }
+
+    #[test]
+    fn run_is_an_alias_for_simulate() {
+        let a = call(&["simulate", "--requests", "3", "--service", "trace"]).unwrap();
+        let b = call(&["run", "--requests", "3", "--service", "trace"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simulate_job_trace_out_has_vm_tracks() {
+        let (tp, tps) = tmp("affinity_vc_job_trace.json");
+        call(&[
+            "simulate-job",
+            "--maps",
+            "4",
+            "--spread",
+            "1,3,0",
+            "--trace-out",
+            &tps,
+        ])
+        .unwrap();
+        let trace = read_json(&tp);
+        std::fs::remove_file(&tp).ok();
+        let events = trace["traceEvents"].as_array().unwrap();
+        let vm_track = events.iter().any(|e| {
+            e["ph"].as_str() == Some("M")
+                && e["name"].as_str() == Some("thread_name")
+                && e["args"]["name"]
+                    .as_str()
+                    .is_some_and(|n| n.starts_with("vm"))
+        });
+        assert!(vm_track, "expected a vm* thread_name metadata event");
+    }
+
+    #[test]
+    fn simulate_queue_metrics_out_csv() {
+        let (mp, mps) = tmp("affinity_vc_queue_metrics.csv");
+        call(&[
+            "simulate-queue",
+            "--requests",
+            "5",
+            "--policy",
+            "global",
+            "--metrics-out",
+            &mps,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&mp).unwrap();
+        std::fs::remove_file(&mp).ok();
+        assert!(text.starts_with("kind,name,field,value"), "{text}");
+        assert!(text.contains("cloudsim.queue_depth"), "{text}");
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_service() {
+        let err = call(&["simulate", "--service", "magic"]).unwrap_err();
+        assert!(err.to_string().contains("service"));
+    }
+
+    #[test]
+    fn observability_flags_do_not_change_results() {
+        let (mp, mps) = tmp("affinity_vc_parity_metrics.json");
+        let plain = call(&["simulate-queue", "--requests", "6", "--json"]).unwrap();
+        let recorded = call(&[
+            "simulate-queue",
+            "--requests",
+            "6",
+            "--json",
+            "--metrics-out",
+            &mps,
+        ])
+        .unwrap();
+        std::fs::remove_file(&mp).ok();
+        assert_eq!(plain, recorded, "recording must not perturb the simulation");
     }
 }

@@ -4,13 +4,20 @@ use crate::arrivals::CloudRequest;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
-use vc_des::{Engine, SimTime};
+use vc_des::{Engine, EventKind, SimTime};
 use vc_mapreduce::engine::SimParams;
 use vc_mapreduce::{JobConfig, VirtualCluster};
 use vc_model::{Allocation, ClusterState};
+use vc_obs::{AttrValue, NoopRecorder, Recorder, SpanId, TrackId};
 use vc_placement::distance::distance_with_center;
 use vc_placement::global::{self, Admission};
 use vc_placement::{PlacementError, PlacementPolicy};
+
+/// Track-id stride between requests on a shared timeline: request `i`
+/// owns tracks `STRIDE·(i+1) ..`, leaving track 0 for queue-level
+/// counters. Large enough that an embedded MapReduce job (one lane per
+/// VM) never spills into the next request's range.
+const TRACK_STRIDE: u64 = 1024;
 
 /// How queued requests are served.
 pub enum PolicyMode {
@@ -134,12 +141,33 @@ enum Event {
     Departure(u64),
 }
 
+impl EventKind for Event {
+    fn kind(&self) -> &'static str {
+        match self {
+            Event::Arrival(_) => "cloudsim.event.arrival",
+            Event::Departure(_) => "cloudsim.event.departure",
+        }
+    }
+}
+
 /// Run the simulation to completion (all arrivals processed, all served
 /// clusters released).
 ///
 /// # Panics
 /// Panics if request ids are not dense `0..n` in arrival order.
 pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
+    run_recorded(state, config, &NoopRecorder)
+}
+
+/// [`run`] with observability: queue-depth samples and histograms,
+/// admission/refusal events, provisioning-latency (`cloudsim.wait_us`)
+/// and holding-time histograms, per-request timeline spans, and — when
+/// [`ServiceModel::MapReduce`] is active — full task-level traces of every
+/// job, each on its own track range, all land on `rec`.
+///
+/// # Panics
+/// Panics if request ids are not dense `0..n` in arrival order.
+pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder) -> SimResult {
     let SimConfig {
         requests,
         mode,
@@ -175,20 +203,70 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
         })
         .collect();
 
+    let mut req_spans: BTreeMap<u64, SpanId> = BTreeMap::new();
+    if rec.enabled() {
+        rec.track_name(TrackId(0), "cloud queue");
+    }
+
     // Resolve the holding time for a freshly placed allocation.
     let hold_time = |req: &CloudRequest,
                      alloc: &Allocation,
-                     state: &ClusterState|
+                     state: &ClusterState,
+                     now: SimTime|
      -> (SimTime, Option<SimTime>) {
         match &service {
             ServiceModel::Trace => (req.service_time, None),
             ServiceModel::MapReduce { job, params } => {
                 let cluster =
                     VirtualCluster::from_allocation(alloc, state.catalog(), state.topology_arc());
-                let metrics = vc_mapreduce::simulate_job(&cluster, job, params);
+                // Each job traces onto its request's private track range,
+                // offset to its real start time on the queue timeline.
+                let metrics = vc_mapreduce::simulate_job_traced(
+                    &cluster,
+                    job,
+                    params,
+                    rec,
+                    TRACK_STRIDE * (req.id + 1),
+                    now.as_micros(),
+                );
                 (metrics.runtime, Some(metrics.runtime))
             }
         }
+    };
+
+    // Record one admitted request: events, histograms, timeline span.
+    let record_served =
+        |req: &CloudRequest, d: u64, alloc: &Allocation, now: SimTime, hold: SimTime| -> SpanId {
+            rec.counter_add("cloudsim.served", 1);
+            rec.histogram_record("cloudsim.wait_us", (now - req.arrival).as_micros());
+            rec.histogram_record("cloudsim.hold_us", hold.as_micros());
+            let attrs = [
+                ("id", AttrValue::from(req.id)),
+                ("center", AttrValue::from(u64::from(alloc.center().0))),
+                ("dc", AttrValue::from(d)),
+                ("span_nodes", AttrValue::from(alloc.span())),
+            ];
+            rec.event(
+                "cloudsim.request_admitted",
+                now.as_micros(),
+                Some(TrackId(0)),
+                &attrs,
+            );
+            rec.span_begin(
+                TrackId(TRACK_STRIDE * (req.id + 1)),
+                "request",
+                now.as_micros(),
+                &attrs,
+            )
+        };
+    let record_refused = |id: u64, now: SimTime| {
+        rec.counter_add("cloudsim.refused", 1);
+        rec.event(
+            "cloudsim.request_refused",
+            now.as_micros(),
+            Some(TrackId(0)),
+            &[("id", AttrValue::from(id))],
+        );
     };
 
     let serve = |now: SimTime,
@@ -197,6 +275,7 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
                  live: &mut BTreeMap<u64, Allocation>,
                  outcomes: &mut Vec<RequestOutcome>,
                  engine: &mut Engine<Event>,
+                 req_spans: &mut BTreeMap<u64, SpanId>,
                  rng: &mut StdRng| {
         // Drop refused requests from the head pre-emptively.
         queue.retain(|&idx| {
@@ -204,6 +283,7 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
                 true
             } else {
                 outcomes[idx].refused = true;
+                record_refused(requests[idx].id, now);
                 false
             }
         });
@@ -218,7 +298,11 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
                                 .allocate(&alloc)
                                 .expect("policy produced invalid allocation");
                             let d = distance_with_center(alloc.matrix(), &topo, alloc.center());
-                            let (hold, job_runtime) = hold_time(req, &alloc, state);
+                            // Batched mode records DC inside the placement
+                            // layer; mirror it here for per-request policies.
+                            rec.histogram_record("placement.dc", d);
+                            let (hold, job_runtime) = hold_time(req, &alloc, state, now);
+                            req_spans.insert(req.id, record_served(req, d, &alloc, now, hold));
                             let o = &mut outcomes[idx];
                             o.distance = Some(d);
                             o.initial_distance = Some(d);
@@ -234,14 +318,16 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
                         Err(PlacementError::Refused { .. }) => {
                             queue.pop_front();
                             outcomes[idx].refused = true;
+                            record_refused(req.id, now);
                         }
                     }
                 }
             }
             PolicyMode::GlobalBatch(admission) => {
                 let batch: Vec<_> = queue.iter().map(|&i| requests[i].request.clone()).collect();
-                let placed = global::place_queue(&batch, state, *admission)
-                    .expect("batched placement failed on admitted requests");
+                let placed =
+                    global::place_queue_recorded(&batch, state, *admission, rec, now.as_micros())
+                        .expect("batched placement failed on admitted requests");
                 let mut served_queue_positions: Vec<usize> = Vec::new();
                 for ((pos, alloc), &online_d) in
                     placed.served.iter().zip(&placed.served_online_distances)
@@ -252,7 +338,8 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
                         .allocate(alloc)
                         .expect("batch produced invalid allocation");
                     let d = distance_with_center(alloc.matrix(), &topo, alloc.center());
-                    let (hold, job_runtime) = hold_time(req, alloc, state);
+                    let (hold, job_runtime) = hold_time(req, alloc, state, now);
+                    req_spans.insert(req.id, record_served(req, d, alloc, now, hold));
                     let o = &mut outcomes[idx];
                     o.distance = Some(d);
                     o.initial_distance = Some(online_d);
@@ -278,7 +365,7 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
     let mut last_time = SimTime::ZERO;
     let mut used_integral = 0f64; // slot-microseconds
     let mut peak_used = 0u64;
-    while let Some((now, event)) = engine.pop() {
+    while let Some((now, event)) = engine.pop_traced(&rec) {
         used_integral += state.used().total() as f64 * (now - last_time).as_micros() as f64;
         last_time = now;
         match event {
@@ -288,6 +375,9 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
             Event::Departure(id) => {
                 let alloc = live.remove(&id).expect("departure for unknown allocation");
                 state.release(&alloc).expect("release failed");
+                if let Some(span) = req_spans.remove(&id) {
+                    rec.span_end(span, now.as_micros());
+                }
             }
         }
         serve(
@@ -297,7 +387,15 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
             &mut live,
             &mut outcomes,
             &mut engine,
+            &mut req_spans,
             &mut rng,
+        );
+        rec.counter_sample("cloudsim.queue_depth", now.as_micros(), queue.len() as f64);
+        rec.histogram_record("cloudsim.queue_depth", queue.len() as u64);
+        rec.counter_sample(
+            "cloudsim.used_slots",
+            now.as_micros(),
+            state.used().total() as f64,
         );
         peak_used = peak_used.max(state.used().total());
     }
@@ -484,6 +582,102 @@ mod tests {
             batched.total_distance <= batched.total_initial_distance,
             "exchange pass must not increase distance"
         );
+    }
+
+    #[test]
+    fn recorded_run_captures_queue_and_placement() {
+        use vc_obs::MemRecorder;
+        let s = state(2);
+        let rec = MemRecorder::new();
+        let result = run_recorded(
+            &s,
+            SimConfig::new(
+                trace(10, 4),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                4,
+            ),
+            &rec,
+        );
+        // Recording must not perturb the simulation.
+        let plain = run(
+            &s,
+            SimConfig::new(
+                trace(10, 4),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                4,
+            ),
+        );
+        assert_eq!(result.outcomes, plain.outcomes);
+
+        let snap = rec.metrics();
+        assert_eq!(snap.counters["cloudsim.served"], result.served as u64);
+        assert_eq!(snap.counters["cloudsim.event.arrival"], 10);
+        assert_eq!(
+            snap.counters["cloudsim.event.departure"],
+            result.served as u64
+        );
+        assert!(snap.histograms["cloudsim.queue_depth"].count > 0);
+        assert_eq!(
+            snap.histograms["cloudsim.wait_us"].count,
+            result.served as u64
+        );
+        assert_eq!(snap.histograms["placement.dc"].count, result.served as u64);
+        // One request span per served request, all closed by departure.
+        let spans = rec.spans();
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "request").count(),
+            result.served
+        );
+        assert_eq!(rec.open_span_count(), 0);
+        // Queue-depth samples form a counter track on the timeline.
+        assert!(!rec.counter_series()["cloudsim.queue_depth"].is_empty());
+    }
+
+    #[test]
+    fn recorded_mapreduce_service_nests_job_traces() {
+        use vc_obs::MemRecorder;
+        let topo = Arc::new(generate::uniform(3, 4, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        let s = ClusterState::uniform_capacity(topo, cat, 2);
+        let job = JobConfig {
+            workload: vc_mapreduce::Workload::wordcount(),
+            input_mb: 4.0 * 64.0,
+            split_mb: 64.0,
+            num_reducers: 1,
+            replication: 2,
+        };
+        let rec = MemRecorder::new();
+        let result = run_recorded(
+            &s,
+            SimConfig::new(
+                trace(3, 9),
+                PolicyMode::Individual(Box::new(OnlineHeuristic)),
+                9,
+            )
+            .with_service(ServiceModel::MapReduce {
+                job,
+                params: SimParams::default(),
+            }),
+            &rec,
+        );
+        assert_eq!(result.served, 3);
+        let spans = rec.spans();
+        // Each request nests one job span plus its map/reduce task spans,
+        // anchored at the request's start time on the shared timeline.
+        for o in &result.outcomes {
+            let base = TRACK_STRIDE * (o.id + 1);
+            let job_span = spans
+                .iter()
+                .find(|s| s.name == "job" && s.track.0 == base)
+                .expect("job span on the request's track range");
+            assert_eq!(job_span.start_us, o.started.unwrap().as_micros());
+            assert_eq!(job_span.end_us, Some(o.finished.unwrap().as_micros()));
+            assert!(spans
+                .iter()
+                .any(|s| s.name == "map" && s.track.0 > base && s.track.0 < base + TRACK_STRIDE));
+        }
+        assert!(spans.iter().any(|s| s.name == "reduce"));
+        assert_eq!(rec.open_span_count(), 0);
     }
 
     #[test]

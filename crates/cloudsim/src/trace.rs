@@ -112,4 +112,52 @@ mod tests {
             Err(TraceError::Io(_))
         ));
     }
+
+    #[test]
+    fn wrong_shape_rejected() {
+        // Top level must be an array of requests, not an object or scalar.
+        assert!(matches!(from_json("{}"), Err(TraceError::Format(_))));
+        assert!(matches!(from_json("42"), Err(TraceError::Format(_))));
+        // Array elements must match the request schema.
+        assert!(matches!(
+            from_json(r#"[{"id": 0}]"#),
+            Err(TraceError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(from_json("[]").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn reordered_ids_rejected() {
+        let mut trace = sample();
+        trace.swap(0, 1); // ids stay dense but leave arrival order
+        let json = to_json(&trace);
+        assert!(matches!(from_json(&json), Err(TraceError::BadIds)));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut trace = sample();
+        trace[1].id = 0;
+        let json = to_json(&trace);
+        assert!(matches!(from_json(&json), Err(TraceError::BadIds)));
+    }
+
+    #[test]
+    fn error_messages_name_the_failure() {
+        let bad_ids = from_json(&to_json(&{
+            let mut t = sample();
+            t[0].id = 9;
+            t
+        }))
+        .unwrap_err();
+        assert!(bad_ids.to_string().contains("dense"));
+        let format = from_json("[[]]").unwrap_err();
+        assert!(format.to_string().contains("format"));
+        let io = load("/nonexistent/path/trace.json").unwrap_err();
+        assert!(io.to_string().contains("I/O"));
+    }
 }

@@ -31,5 +31,5 @@
 mod engine;
 mod time;
 
-pub use engine::Engine;
+pub use engine::{Engine, EventKind};
 pub use time::SimTime;

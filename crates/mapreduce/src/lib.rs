@@ -30,7 +30,7 @@ pub mod scheduler;
 pub mod workloads;
 
 pub use cluster::{VirtualCluster, Vm, VmId};
-pub use engine::simulate_job;
+pub use engine::{simulate_job, simulate_job_traced};
 pub use hdfs::{Block, BlockId, HdfsLayout};
 pub use job::JobConfig;
 pub use metrics::{JobMetrics, Locality};

@@ -14,6 +14,17 @@ pub enum Locality {
     Remote,
 }
 
+impl Locality {
+    /// Stable label used in traces and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Locality::NodeLocal => "node_local",
+            Locality::RackLocal => "rack_local",
+            Locality::Remote => "remote",
+        }
+    }
+}
+
 /// Everything measured about one simulated job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobMetrics {

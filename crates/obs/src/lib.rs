@@ -1,0 +1,37 @@
+//! # vc-obs — unified simulation observability
+//!
+//! Tracing and metrics layer shared by every simulation crate in the
+//! workspace. The design goals, in order:
+//!
+//! 1. **Zero overhead when off.** Instrumented code is generic over
+//!    [`Recorder`]; with [`NoopRecorder`] every hook monomorphizes to an
+//!    empty inlined function and the optimizer deletes the call and its
+//!    argument construction. Hot paths must only pass cheap values
+//!    (integers, `&'static str`) — see [`Recorder::enabled`] for gating
+//!    anything that allocates.
+//! 2. **No dependency cycles.** `vc-des` is itself instrumented, so this
+//!    crate cannot depend on it; timestamps cross the API as raw
+//!    microsecond `u64`s (the same unit `vc_des::SimTime` uses
+//!    internally).
+//! 3. **Standard output formats.** [`MemRecorder`] buffers everything and
+//!    exports a Chrome trace-event JSON (loadable in Perfetto /
+//!    `chrome://tracing`) via [`trace::chrome_trace`], and a metrics
+//!    snapshot as JSON or CSV via [`metrics::MetricsSnapshot`].
+//!
+//! Spans model task attempts (map, shuffle fetch, reduce) on a
+//! [`TrackId`] — one track per VM, so the Perfetto timeline reads like a
+//! Gantt chart of the virtual cluster. Events model instants (admission,
+//! rejection, speculative launch). Counters/gauges/histograms aggregate
+//! into the metrics registry; time-varying counters (queue depth) can
+//! additionally be sampled with [`Recorder::counter_sample`] to appear as
+//! counter tracks in the timeline.
+
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{
+    AttrValue, EventRecord, MemRecorder, NoopRecorder, Recorder, SpanId, SpanRecord, TrackId,
+};
+pub use trace::chrome_trace;

@@ -1,0 +1,449 @@
+//! The [`Recorder`] sink trait plus the two standard implementations:
+//! [`NoopRecorder`] (zero cost) and [`MemRecorder`] (in-memory buffers).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Timeline lane for spans — by convention one track per VM, with
+/// reserved tracks for schedulers/queues registered via
+/// [`Recorder::track_name`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(pub u64);
+
+/// Handle pairing a `span_begin` with its `span_end`. Id 0 is the null
+/// span returned by no-op recorders; ending it is a no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    pub const NULL: SpanId = SpanId(0);
+
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Attribute value attached to events and spans. Kept to cheap variants
+/// so no-op instrumentation compiles away; `Owned` strings should be
+/// gated behind [`Recorder::enabled`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(&'static str),
+    Owned(String),
+}
+
+impl AttrValue {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            AttrValue::Owned(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            AttrValue::U64(v) => Some(v),
+            AttrValue::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<&'static str> for AttrValue {
+    fn from(v: &'static str) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Owned(v)
+    }
+}
+
+/// Key/value attribute pair.
+pub type Attr = (&'static str, AttrValue);
+
+/// Observability sink. All methods take `&self` (implementations use
+/// interior mutability) so a recorder can be shared by every layer of a
+/// simulation without threading `&mut` through the call graph.
+///
+/// Every method has a no-op default, which is the entire implementation
+/// of [`NoopRecorder`]: generic instrumentation monomorphized against it
+/// inlines to nothing.
+pub trait Recorder {
+    /// `false` means callers should skip building expensive attributes
+    /// (formatted strings, per-item loops) before calling in.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Add to a monotonic counter.
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+
+    /// Set an instantaneous gauge (last-write-wins in the snapshot).
+    fn gauge_set(&self, _name: &'static str, _value: f64) {}
+
+    /// Record a sample into a log-bucketed histogram.
+    fn histogram_record(&self, _name: &'static str, _value: u64) {}
+
+    /// Record a timestamped sample of a time-varying quantity (queue
+    /// depth, heap size); exported as a counter track in the timeline.
+    fn counter_sample(&self, _name: &'static str, _t_us: u64, _value: f64) {}
+
+    /// Register a display name for a track (e.g. `vm3@node7`).
+    fn track_name(&self, _track: TrackId, _name: &str) {}
+
+    /// Record an instantaneous structured event.
+    fn event(&self, _name: &'static str, _t_us: u64, _track: Option<TrackId>, _attrs: &[Attr]) {}
+
+    /// Open a span on a track. The returned id must later be passed to
+    /// [`Recorder::span_end`]; no-op recorders return [`SpanId::NULL`].
+    fn span_begin(
+        &self,
+        _track: TrackId,
+        _name: &'static str,
+        _t_us: u64,
+        _attrs: &[Attr],
+    ) -> SpanId {
+        SpanId::NULL
+    }
+
+    /// Close a span at `t_us`. Ending [`SpanId::NULL`] is a no-op.
+    fn span_end(&self, _span: SpanId, _t_us: u64) {}
+
+    /// Attach an attribute to an open span (outcomes discovered after
+    /// the span began, e.g. which attempt won a speculative race).
+    fn span_attr(&self, _span: SpanId, _key: &'static str, _value: AttrValue) {}
+}
+
+/// Forwarding impls so instrumented code generic over `R: Recorder` also
+/// accepts `&R`, `&dyn Recorder`, and boxed recorders.
+impl<R: Recorder + ?Sized> Recorder for &R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        (**self).counter_add(name, delta)
+    }
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        (**self).gauge_set(name, value)
+    }
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        (**self).histogram_record(name, value)
+    }
+    fn counter_sample(&self, name: &'static str, t_us: u64, value: f64) {
+        (**self).counter_sample(name, t_us, value)
+    }
+    fn track_name(&self, track: TrackId, name: &str) {
+        (**self).track_name(track, name)
+    }
+    fn event(&self, name: &'static str, t_us: u64, track: Option<TrackId>, attrs: &[Attr]) {
+        (**self).event(name, t_us, track, attrs)
+    }
+    fn span_begin(&self, track: TrackId, name: &'static str, t_us: u64, attrs: &[Attr]) -> SpanId {
+        (**self).span_begin(track, name, t_us, attrs)
+    }
+    fn span_end(&self, span: SpanId, t_us: u64) {
+        (**self).span_end(span, t_us)
+    }
+    fn span_attr(&self, span: SpanId, key: &'static str, value: AttrValue) {
+        (**self).span_attr(span, key, value)
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for std::rc::Rc<R> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        (**self).counter_add(name, delta)
+    }
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        (**self).gauge_set(name, value)
+    }
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        (**self).histogram_record(name, value)
+    }
+    fn counter_sample(&self, name: &'static str, t_us: u64, value: f64) {
+        (**self).counter_sample(name, t_us, value)
+    }
+    fn track_name(&self, track: TrackId, name: &str) {
+        (**self).track_name(track, name)
+    }
+    fn event(&self, name: &'static str, t_us: u64, track: Option<TrackId>, attrs: &[Attr]) {
+        (**self).event(name, t_us, track, attrs)
+    }
+    fn span_begin(&self, track: TrackId, name: &'static str, t_us: u64, attrs: &[Attr]) -> SpanId {
+        (**self).span_begin(track, name, t_us, attrs)
+    }
+    fn span_end(&self, span: SpanId, t_us: u64) {
+        (**self).span_end(span, t_us)
+    }
+    fn span_attr(&self, span: SpanId, key: &'static str, value: AttrValue) {
+        (**self).span_attr(span, key, value)
+    }
+}
+
+/// Recorder that records nothing. The canonical "observability off"
+/// implementation: every hook is the trait's empty default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// A recorded instantaneous event.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    pub name: &'static str,
+    pub t_us: u64,
+    pub track: Option<TrackId>,
+    pub attrs: Vec<Attr>,
+}
+
+/// A recorded span; `end_us` is `None` while the span is open.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub id: SpanId,
+    pub track: TrackId,
+    pub name: &'static str,
+    pub start_us: u64,
+    pub end_us: Option<u64>,
+    pub attrs: Vec<Attr>,
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    events: Vec<EventRecord>,
+    spans: Vec<SpanRecord>,
+    /// Open span id → index into `spans`.
+    open: BTreeMap<u64, usize>,
+    track_names: BTreeMap<u64, String>,
+    counter_series: BTreeMap<&'static str, Vec<(u64, f64)>>,
+    metrics: MetricsRegistry,
+    next_span: u64,
+}
+
+/// Buffering recorder for single-threaded simulations. Interior
+/// mutability via `RefCell`; not `Sync` by design — each parallel batch
+/// run owns its own recorder.
+#[derive(Debug, Default)]
+pub struct MemRecorder {
+    inner: RefCell<MemInner>,
+}
+
+impl MemRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.inner.borrow().events.clone()
+    }
+
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.borrow().spans.clone()
+    }
+
+    /// Number of spans begun but not yet ended.
+    pub fn open_span_count(&self) -> usize {
+        self.inner.borrow().open.len()
+    }
+
+    pub fn track_names(&self) -> BTreeMap<u64, String> {
+        self.inner.borrow().track_names.clone()
+    }
+
+    pub fn counter_series(&self) -> BTreeMap<&'static str, Vec<(u64, f64)>> {
+        self.inner.borrow().counter_series.clone()
+    }
+
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.borrow().metrics.snapshot()
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.inner.borrow_mut().metrics.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        self.inner.borrow_mut().metrics.gauge_set(name, value);
+    }
+
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        self.inner
+            .borrow_mut()
+            .metrics
+            .histogram_record(name, value);
+    }
+
+    fn counter_sample(&self, name: &'static str, t_us: u64, value: f64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.metrics.gauge_set(name, value);
+        inner
+            .counter_series
+            .entry(name)
+            .or_default()
+            .push((t_us, value));
+    }
+
+    fn track_name(&self, track: TrackId, name: &str) {
+        self.inner
+            .borrow_mut()
+            .track_names
+            .insert(track.0, name.to_string());
+    }
+
+    fn event(&self, name: &'static str, t_us: u64, track: Option<TrackId>, attrs: &[Attr]) {
+        self.inner.borrow_mut().events.push(EventRecord {
+            name,
+            t_us,
+            track,
+            attrs: attrs.to_vec(),
+        });
+    }
+
+    fn span_begin(&self, track: TrackId, name: &'static str, t_us: u64, attrs: &[Attr]) -> SpanId {
+        let mut inner = self.inner.borrow_mut();
+        inner.next_span += 1;
+        let id = SpanId(inner.next_span);
+        let index = inner.spans.len();
+        inner.spans.push(SpanRecord {
+            id,
+            track,
+            name,
+            start_us: t_us,
+            end_us: None,
+            attrs: attrs.to_vec(),
+        });
+        inner.open.insert(id.0, index);
+        id
+    }
+
+    fn span_end(&self, span: SpanId, t_us: u64) {
+        if span.is_null() {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        if let Some(index) = inner.open.remove(&span.0) {
+            inner.spans[index].end_us = Some(t_us);
+        }
+    }
+
+    fn span_attr(&self, span: SpanId, key: &'static str, value: AttrValue) {
+        if span.is_null() {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        if let Some(&index) = inner.open.get(&span.0) {
+            inner.spans[index].attrs.push((key, value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_returns_null_span() {
+        let r = NoopRecorder;
+        let s = r.span_begin(TrackId(1), "x", 0, &[]);
+        assert!(s.is_null());
+        r.span_end(s, 10);
+        r.counter_add("c", 1);
+    }
+
+    #[test]
+    fn mem_records_spans_and_events() {
+        let r = MemRecorder::new();
+        r.track_name(TrackId(3), "vm3@node1");
+        let s = r.span_begin(TrackId(3), "map", 100, &[("task", AttrValue::U64(0))]);
+        assert!(!s.is_null());
+        assert_eq!(r.open_span_count(), 1);
+        r.span_attr(s, "locality", AttrValue::Str("node_local"));
+        r.span_end(s, 250);
+        assert_eq!(r.open_span_count(), 0);
+        r.event("admit", 50, None, &[("id", AttrValue::U64(7))]);
+
+        let spans = r.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].start_us, 100);
+        assert_eq!(spans[0].end_us, Some(250));
+        assert_eq!(spans[0].attrs.len(), 2);
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.track_names()[&3], "vm3@node1");
+    }
+
+    #[test]
+    fn works_through_dyn_and_rc() {
+        let mem = MemRecorder::new();
+        let r: &dyn Recorder = &mem;
+        let s = r.span_begin(TrackId(0), "x", 0, &[]);
+        r.span_end(s, 5);
+        r.counter_add("n", 2);
+        assert_eq!(mem.spans().len(), 1);
+        assert_eq!(mem.metrics().counters["n"], 2);
+
+        let rc: std::rc::Rc<dyn Recorder> = std::rc::Rc::new(MemRecorder::new());
+        rc.counter_add("k", 1);
+    }
+
+    #[test]
+    fn counter_sample_builds_series() {
+        let r = MemRecorder::new();
+        r.counter_sample("queue.depth", 0, 1.0);
+        r.counter_sample("queue.depth", 10, 2.0);
+        let series = r.counter_series();
+        assert_eq!(series["queue.depth"], vec![(0, 1.0), (10, 2.0)]);
+    }
+}

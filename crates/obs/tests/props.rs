@@ -1,0 +1,92 @@
+//! Property tests for the observability layer: histogram bucketing
+//! invariants, snapshot round-trips, and span bookkeeping.
+
+use proptest::prelude::*;
+use vc_obs::metrics::{bucket_index, bucket_lower_bound, Histogram, NUM_BUCKETS};
+use vc_obs::{MemRecorder, MetricsSnapshot, Recorder, TrackId};
+
+proptest! {
+    /// Bucket assignment is monotone non-decreasing in the sample value,
+    /// and every sample lands in the bucket whose range contains it.
+    #[test]
+    fn bucket_index_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        let i = bucket_index(hi);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= hi);
+        if i + 1 < NUM_BUCKETS {
+            prop_assert!(hi < bucket_lower_bound(i + 1));
+        }
+    }
+
+    /// Histogram aggregates are exact and bucket counts conserve samples;
+    /// quantiles stay inside [min, max] and are monotone in `q`.
+    #[test]
+    fn histogram_conserves_samples(values in proptest::collection::vec(any::<u64>(), 1..128)) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count, values.len() as u64);
+        prop_assert_eq!(h.min, *values.iter().min().unwrap());
+        prop_assert_eq!(h.max, *values.iter().max().unwrap());
+        let bucket_total: u64 = h.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, h.count);
+        // Sparse representation is sorted and has no empty buckets.
+        for w in h.buckets.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        prop_assert!(h.buckets.iter().all(|&(_, n)| n > 0));
+        let mut last = 0;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= h.min && v <= h.max);
+            prop_assert!(v >= last, "quantile not monotone in q");
+            last = v;
+        }
+    }
+
+    /// A snapshot survives the JSON text round-trip bit-for-bit.
+    #[test]
+    fn snapshot_json_roundtrip(
+        counters in proptest::collection::vec((0usize..8, 1u64..1000), 0..16),
+        samples in proptest::collection::vec((0usize..4, any::<u64>()), 0..64),
+    ) {
+        let rec = MemRecorder::new();
+        let names = ["a.one", "b.two", "c.three", "d.four", "e", "f", "g", "h"];
+        for (i, delta) in counters {
+            rec.counter_add(names[i], delta);
+        }
+        for (i, v) in samples {
+            rec.histogram_record(names[i], v);
+        }
+        let snap = rec.metrics();
+        let back = MetricsSnapshot::parse(&snap.to_json_string()).unwrap();
+        prop_assert_eq!(snap, back);
+    }
+
+    /// Every span that is begun and ended balances out: no span leaks
+    /// open, ends never precede starts, and span count matches begins.
+    #[test]
+    fn spans_balance(durations in proptest::collection::vec((0u64..10_000, 0u64..10_000), 0..64)) {
+        let rec = MemRecorder::new();
+        let mut open = Vec::new();
+        for (i, &(start, len)) in durations.iter().enumerate() {
+            let track = TrackId((i % 5) as u64);
+            open.push((rec.span_begin(track, "work", start, &[]), start, start + len));
+        }
+        prop_assert_eq!(rec.open_span_count(), durations.len());
+        // Close in reverse order to exercise non-LIFO-independence.
+        for &(id, _, end) in open.iter().rev() {
+            rec.span_end(id, end);
+        }
+        prop_assert_eq!(rec.open_span_count(), 0);
+        let spans = rec.spans();
+        prop_assert_eq!(spans.len(), durations.len());
+        for s in &spans {
+            let end = s.end_us.expect("all spans closed");
+            prop_assert!(end >= s.start_us);
+        }
+    }
+}

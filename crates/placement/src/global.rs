@@ -17,6 +17,7 @@ use crate::distance::distance_with_center;
 use crate::online;
 use crate::policy::PlacementError;
 use vc_model::{Allocation, ClusterState, Request};
+use vc_obs::{AttrValue, NoopRecorder, Recorder};
 use vc_topology::Topology;
 
 /// How [`get_requests`] walks the queue.
@@ -79,6 +80,19 @@ pub fn place_queue(
     state: &ClusterState,
     admission: Admission,
 ) -> Result<QueuePlacement, PlacementError> {
+    place_queue_recorded(queue, state, admission, &NoopRecorder, 0)
+}
+
+/// [`place_queue`] with observability: per-request placement events (with
+/// chosen centre and `DC(C)`), the `placement.dc` histogram, and the
+/// Theorem-2 exchange-pass counters land on `rec`, timestamped `t_us`.
+pub fn place_queue_recorded(
+    queue: &[Request],
+    state: &ClusterState,
+    admission: Admission,
+    rec: &dyn Recorder,
+    t_us: u64,
+) -> Result<QueuePlacement, PlacementError> {
     let admitted = get_requests(queue, state, admission);
     let mut working = state.clone();
     let mut served = Vec::with_capacity(admitted.len());
@@ -98,14 +112,39 @@ pub fn place_queue(
     let online_distance = served_online_distances.iter().sum();
 
     let mut allocations: Vec<&mut Allocation> = served.iter_mut().map(|(_, a)| a).collect();
-    suboptimize(&mut allocations, topo);
+    let exchanges = suboptimize_stats(&mut allocations, topo);
+    rec.counter_add("placement.exchange_swaps", exchanges.swaps);
+    rec.counter_add("placement.exchange_saved", exchanges.saved);
+    rec.counter_add("placement.exchange_passes", exchanges.passes);
 
     let optimized_distance = served
         .iter()
-        .map(|(_, a)| distance_with_center(a.matrix(), topo, a.center()))
+        .map(|(_, a)| {
+            let d = distance_with_center(a.matrix(), topo, a.center());
+            rec.histogram_record("placement.dc", d);
+            d
+        })
         .sum();
+    for (idx, a) in &served {
+        rec.event(
+            "placement.request_placed",
+            t_us,
+            None,
+            &[
+                ("queue_index", AttrValue::from(*idx)),
+                ("center", AttrValue::from(u64::from(a.center().0))),
+                (
+                    "dc",
+                    AttrValue::from(distance_with_center(a.matrix(), topo, a.center())),
+                ),
+                ("span_nodes", AttrValue::from(a.span())),
+            ],
+        );
+    }
+    rec.counter_add("placement.requests_served", served.len() as u64);
 
-    let deferred = (0..queue.len()).filter(|i| !admitted.contains(i)).collect();
+    let deferred: Vec<usize> = (0..queue.len()).filter(|i| !admitted.contains(i)).collect();
+    rec.counter_add("placement.requests_deferred", deferred.len() as u64);
     Ok(QueuePlacement {
         served,
         deferred,
@@ -115,24 +154,43 @@ pub fn place_queue(
     })
 }
 
+/// What a [`suboptimize_stats`] run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Total distance reduction.
+    pub saved: u64,
+    /// Individual Theorem-2 VM swaps applied.
+    pub swaps: u64,
+    /// Full passes over all pairs (including the final no-progress pass).
+    pub passes: u64,
+}
+
 /// Step 3 of Algorithm 2: repeatedly apply [`transfer`] to every pair of
 /// allocations with distinct centres until a full pass makes no progress.
 /// Returns the total distance reduction.
 pub fn suboptimize(allocations: &mut [&mut Allocation], topo: &Topology) -> u64 {
-    let mut total = 0u64;
+    suboptimize_stats(allocations, topo).saved
+}
+
+/// [`suboptimize`], also reporting how many swaps and passes it took.
+pub fn suboptimize_stats(allocations: &mut [&mut Allocation], topo: &Topology) -> ExchangeStats {
+    let mut stats = ExchangeStats::default();
     loop {
-        let mut pass = 0u64;
+        let mut pass_saved = 0u64;
+        stats.passes += 1;
         for i in 0..allocations.len() {
             for j in (i + 1)..allocations.len() {
                 if allocations[i].center() != allocations[j].center() {
                     let (left, right) = allocations.split_at_mut(j);
-                    pass += transfer(left[i], right[0], topo);
+                    let (saved, swaps) = transfer_counted(left[i], right[0], topo);
+                    pass_saved += saved;
+                    stats.swaps += swaps;
                 }
             }
         }
-        total += pass;
-        if pass == 0 {
-            return total;
+        stats.saved += pass_saved;
+        if pass_saved == 0 {
+            return stats;
         }
     }
 }
@@ -148,25 +206,33 @@ pub fn suboptimize(allocations: &mut [&mut Allocation], topo: &Topology) -> u64 
 /// is capacity-neutral because the per-node, per-type totals of `a + b`
 /// are unchanged.
 pub fn transfer(a: &mut Allocation, b: &mut Allocation, topo: &Topology) -> u64 {
-    let mut saved = 0u64;
+    transfer_counted(a, b, topo).0
+}
+
+/// [`transfer`], also counting the swaps applied.
+fn transfer_counted(a: &mut Allocation, b: &mut Allocation, topo: &Topology) -> (u64, u64) {
+    let (mut saved, mut swaps) = (0u64, 0u64);
     loop {
-        let step = transfer_one(a, b, topo) + transfer_one(b, a, topo);
-        if step == 0 {
-            return saved;
+        let (s1, n1) = transfer_one(a, b, topo);
+        let (s2, n2) = transfer_one(b, a, topo);
+        if s1 + s2 == 0 {
+            return (saved, swaps);
         }
-        saved += step;
+        saved += s1 + s2;
+        swaps += n1 + n2;
     }
 }
 
 /// One directed sweep: move VMs of `mover` off `anchor`'s centre.
-fn transfer_one(mover: &mut Allocation, anchor: &mut Allocation, topo: &Topology) -> u64 {
+/// Returns `(distance saved, swaps applied)`.
+fn transfer_one(mover: &mut Allocation, anchor: &mut Allocation, topo: &Topology) -> (u64, u64) {
     let x = mover.center();
     let y = anchor.center();
     if x == y {
-        return 0;
+        return (0, 0);
     }
     let m = mover.matrix().num_types();
-    let mut saved = 0u64;
+    let (mut saved, mut swaps) = (0u64, 0u64);
     for j in 0..m {
         let ty = vc_model::VmTypeId::from_index(j);
         // While the mover holds a type-j VM on the anchor's centre…
@@ -190,9 +256,10 @@ fn transfer_one(mover: &mut Allocation, anchor: &mut Allocation, topo: &Topology
             anchor.matrix_mut().sub(k, ty, 1);
             anchor.matrix_mut().add(y, ty, 1);
             saved += gain;
+            swaps += 1;
         }
     }
-    saved
+    (saved, swaps)
 }
 
 #[cfg(test)]
@@ -335,6 +402,62 @@ mod tests {
         let before = (a.clone(), b.clone());
         assert_eq!(transfer(&mut a, &mut b, &topo), 0);
         assert_eq!((a, b), before);
+    }
+
+    #[test]
+    fn recorded_queue_placement_reports_exchanges() {
+        use vc_obs::MemRecorder;
+        let s = state(
+            &[vec![2, 2, 2], vec![2, 2, 2], vec![2, 2, 2], vec![2, 2, 2]],
+            &[2, 2],
+        );
+        let queue = vec![
+            Request::from_counts(vec![2, 1, 0]),
+            Request::from_counts(vec![1, 1, 1]),
+        ];
+        let rec = MemRecorder::new();
+        let out = place_queue_recorded(&queue, &s, Admission::FifoBlocking, &rec, 42).unwrap();
+        let plain = place_queue(&queue, &s, Admission::FifoBlocking).unwrap();
+        assert_eq!(out.optimized_distance, plain.optimized_distance);
+
+        let snap = rec.metrics();
+        assert_eq!(snap.counters["placement.requests_served"], 2);
+        assert_eq!(snap.counters["placement.requests_deferred"], 0);
+        assert!(snap.counters["placement.exchange_passes"] >= 1);
+        assert_eq!(snap.histograms["placement.dc"].count, 2);
+        let events = rec.events();
+        let placed: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "placement.request_placed")
+            .collect();
+        assert_eq!(placed.len(), 2);
+        assert!(placed.iter().all(|e| e.t_us == 42));
+        assert!(placed
+            .iter()
+            .all(|e| e.attrs.iter().any(|(k, _)| *k == "center")
+                && e.attrs.iter().any(|(k, _)| *k == "dc")));
+    }
+
+    #[test]
+    fn exchange_stats_consistent_with_distance_drop() {
+        let topo = generate::heterogeneous(&[2, 2], DistanceTiers::paper_experiment());
+        let mut a = Allocation::new(
+            ResourceMatrix::from_rows(&[vec![1], vec![0], vec![1], vec![0]]),
+            NodeId(0),
+        );
+        let mut b = Allocation::new(
+            ResourceMatrix::from_rows(&[vec![0], vec![1], vec![1], vec![0]]),
+            NodeId(2),
+        );
+        let before = distance_with_center(a.matrix(), &topo, a.center())
+            + distance_with_center(b.matrix(), &topo, b.center());
+        let mut allocs: Vec<&mut Allocation> = vec![&mut a, &mut b];
+        let stats = suboptimize_stats(&mut allocs, &topo);
+        let after = distance_with_center(a.matrix(), &topo, a.center())
+            + distance_with_center(b.matrix(), &topo, b.center());
+        assert_eq!(stats.saved, before - after);
+        assert!(stats.swaps >= 1);
+        assert!(stats.passes >= 2, "must include the final no-progress pass");
     }
 
     #[test]

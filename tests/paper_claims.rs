@@ -55,7 +55,7 @@ fn claim_fig2_heuristic_center_dominates_random() {
 fn claim_fig5_fig6_global_gain_larger_for_small_requests() {
     let gain = |profile: RequestProfile| -> (u64, u64) {
         let (mut online_sum, mut global_sum) = (0u64, 0u64);
-        for seed in 0..12u64 {
+        for seed in 0..48u64 {
             let state = paper_cloud(seed);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xAB);
             let queue = profile.sample_many(3, 20, &mut rng);

@@ -1,0 +1,586 @@
+//! Proc macros for the vendored serde shims: `#[derive(Serialize)]`,
+//! `#[derive(Deserialize)]`, and a function-like `json!`.
+//!
+//! Written against the raw `proc_macro` API (no `syn`/`quote`), parsing
+//! only the shapes this workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (any arity; one-field tuples serialise transparently,
+//!   matching `#[serde(transparent)]` and serde's newtype behaviour),
+//! * enums with unit, tuple, and struct variants (externally tagged).
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// shared parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);` — arity recorded.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Split a token stream into a vector we can index into.
+fn toks(input: TokenStream) -> Vec<TokenTree> {
+    input.into_iter().collect()
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip one attribute (`#[...]`) starting at `i`; returns the index after it.
+fn skip_attr(ts: &[TokenTree], mut i: usize) -> usize {
+    debug_assert!(is_punct(&ts[i], '#'));
+    i += 1;
+    if matches!(&ts[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket) {
+        i += 1;
+    }
+    i
+}
+
+/// Does the item carry `#[serde(transparent)]`?
+fn has_transparent(ts: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while i < ts.len() {
+        if is_punct(&ts[i], '#') {
+            if let TokenTree::Group(g) = &ts[i + 1] {
+                let inner = toks(g.stream());
+                if !inner.is_empty() && is_ident(&inner[0], "serde") {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        if args.stream().to_string().contains("transparent") {
+                            return true;
+                        }
+                    }
+                }
+            }
+            i = skip_attr(ts, i);
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Skip leading attributes and visibility, returning the index of the
+/// `struct`/`enum` keyword.
+fn skip_to_keyword(ts: &[TokenTree]) -> usize {
+    let mut i = 0;
+    loop {
+        if is_punct(&ts[i], '#') {
+            i = skip_attr(ts, i);
+        } else if is_ident(&ts[i], "pub") {
+            i += 1;
+            // `pub(crate)` etc.
+            if matches!(&ts[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+/// Parse comma-separated named fields out of a brace group's stream,
+/// returning field names. Tracks `<`/`>` depth so generic arguments with
+/// commas (e.g. `BTreeMap<K, V>`) do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let ts = toks(stream);
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < ts.len() {
+        // field attributes
+        while i < ts.len() && is_punct(&ts[i], '#') {
+            i = skip_attr(&ts, i);
+        }
+        if i >= ts.len() {
+            break;
+        }
+        if is_ident(&ts[i], "pub") {
+            i += 1;
+            if matches!(&ts[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        let TokenTree::Ident(name) = &ts[i] else {
+            panic!("expected field name, got {:?}", ts[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(is_punct(&ts[i], ':'), "expected `:` after field name");
+        i += 1;
+        // skip the type up to a top-level comma
+        let mut angle: i32 = 0;
+        while i < ts.len() {
+            match &ts[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count comma-separated entries (tuple-struct/tuple-variant fields) in a
+/// parenthesis group's stream.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let ts = toks(stream);
+    if ts.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    let mut i = 0;
+    // Strip per-field attributes and visibility from the count: commas only.
+    while i < ts.len() {
+        match &ts[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                // trailing comma?
+                if i + 1 < ts.len() {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let ts = toks(stream);
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < ts.len() {
+        while i < ts.len() && is_punct(&ts[i], '#') {
+            i = skip_attr(&ts, i);
+        }
+        if i >= ts.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &ts[i] else {
+            panic!("expected variant name, got {:?}", ts[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match ts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if i < ts.len() && is_punct(&ts[i], ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> (Shape, bool) {
+    let ts = toks(input);
+    let transparent = has_transparent(&ts);
+    let mut i = skip_to_keyword(&ts);
+    let kw = match &ts[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &ts[i] else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    // Generics are not supported; skip a `<...>` if present so the error
+    // surfaces as a compile error in generated code rather than a panic.
+    if i < ts.len() && is_punct(&ts[i], '<') {
+        let mut depth = 0i32;
+        while i < ts.len() {
+            if is_punct(&ts[i], '<') {
+                depth += 1;
+            } else if is_punct(&ts[i], '>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    let shape = if kw == "struct" {
+        match ts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => Shape::UnitStruct { name },
+        }
+    } else if kw == "enum" {
+        match ts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body, got {other:?}"),
+        }
+    } else {
+        panic!("derive target must be a struct or enum, got `{kw}`");
+    };
+    (shape, transparent)
+}
+
+// ---------------------------------------------------------------------------
+// derive(Serialize)
+// ---------------------------------------------------------------------------
+
+/// Derive the shim `serde::Serialize` (conversion to `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (shape, transparent) = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { fields, .. } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct { arity: 1, .. } => {
+            // newtype / transparent: serialise as the inner value
+            "serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct { arity, .. } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct { .. } => "serde::Value::Null".to_string(),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let _ = transparent; // one-field tuples already serialise transparently
+    let name = shape_name(&shape);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+fn shape_name(shape: &Shape) -> &str {
+    match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// derive(Deserialize)
+// ---------------------------------------------------------------------------
+
+/// Derive the shim `serde::Deserialize` (conversion from `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (shape, _transparent) = parse_shape(input);
+    let name = shape_name(&shape).to_string();
+    let body = match &shape {
+        Shape::NamedStruct { fields, .. } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::value::field(__v, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let _ = serde::value::as_object(__v)?; Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity: 1, .. } => {
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct { arity, .. } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!("serde::Deserialize::from_value(serde::value::element(__v, {i})?)?")
+                })
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+        Shape::UnitStruct { .. } => format!("Ok({name})"),
+        Shape::Enum { variants, .. } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => return Ok({name}::{vn}),"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?)),"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!(
+                                "serde::Deserialize::from_value(serde::value::element(__inner, {i})?)?"
+                            ))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}({})),",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!(
+                                "{f}: serde::Deserialize::from_value(serde::value::field(__inner, \"{f}\")?)?"
+                            ))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{ {} }}),",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let serde::Value::Str(__s) = __v {{\n\
+                     match __s.as_str() {{ {unit} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some((__tag, __inner)) = serde::value::single_entry(__v) {{\n\
+                     match __tag {{ {tagged} _ => {{}} }}\n\
+                 }}\n\
+                 Err(serde::Error::custom(format!(\"unknown {name} variant: {{__v:?}}\")))",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// json!
+// ---------------------------------------------------------------------------
+
+/// `json!` literal macro producing a `serde_json::Value`.
+///
+/// Objects/arrays/`null` are handled structurally; any other value
+/// position is treated as a Rust expression serialised via the shim
+/// `Serialize` trait.
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let expr = json_value(&toks(input));
+    expr.parse().expect("generated json! expression parses")
+}
+
+/// Translate the tokens of one JSON value position into a Rust expression
+/// string.
+fn json_value(ts: &[TokenTree]) -> String {
+    if ts.len() == 1 {
+        match &ts[0] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return json_object(&toks(g.stream()));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                return json_array(&toks(g.stream()));
+            }
+            TokenTree::Ident(id) if id.to_string() == "null" => {
+                return "::serde_json::Value::Null".to_string();
+            }
+            _ => {}
+        }
+    }
+    // Arbitrary Rust expression.
+    let src = render_tokens(ts);
+    format!("::serde_json::to_value(&({src}))")
+}
+
+/// Re-render tokens as source text, keeping joint puncts (`::`, `..`,
+/// `->`) glued together so the result re-parses as the original code.
+fn render_tokens(ts: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) => {
+                out.push(p.as_char());
+                if p.spacing() == Spacing::Alone {
+                    out.push(' ');
+                }
+            }
+            TokenTree::Group(g) => {
+                let (open, close) = match g.delimiter() {
+                    Delimiter::Parenthesis => ("(", ")"),
+                    Delimiter::Brace => ("{", "}"),
+                    Delimiter::Bracket => ("[", "]"),
+                    Delimiter::None => ("", ""),
+                };
+                out.push_str(open);
+                out.push_str(&render_tokens(&toks(g.stream())));
+                out.push_str(close);
+                out.push(' ');
+            }
+            other => {
+                out.push_str(&other.to_string());
+                out.push(' ');
+            }
+        }
+    }
+    out
+}
+
+/// Split tokens on top-level commas.
+fn split_commas(ts: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in ts {
+        if is_punct(t, ',') {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(t.clone());
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn json_array(ts: &[TokenTree]) -> String {
+    let items: Vec<String> = split_commas(ts)
+        .iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| json_value(part))
+        .collect();
+    format!("::serde_json::Value::Array(vec![{}])", items.join(", "))
+}
+
+fn json_object(ts: &[TokenTree]) -> String {
+    let mut pairs = Vec::new();
+    for part in split_commas(ts) {
+        if part.is_empty() {
+            continue;
+        }
+        // key : value — key is a string literal (or ident) before the first ':'
+        let colon = part
+            .iter()
+            .position(|t| is_punct(t, ':'))
+            .expect("json! object entry needs `key: value`");
+        let key_toks = &part[..colon];
+        let val_toks = &part[colon + 1..];
+        let key = match key_toks {
+            [TokenTree::Literal(l)] => l.to_string(),
+            [TokenTree::Ident(i)] => format!("\"{i}\""),
+            other => panic!("unsupported json! key: {other:?}"),
+        };
+        let val = json_value(val_toks);
+        pairs.push(format!("({key}.to_string(), {val})"));
+    }
+    format!("::serde_json::Value::Object(vec![{}])", pairs.join(", "))
+}
