@@ -8,7 +8,7 @@ use vc_bench::scenarios;
 use vc_cloudsim::sim::{self, PolicyMode, SimConfig};
 use vc_cloudsim::ArrivalProcess;
 use vc_placement::global::Admission;
-use vc_placement::online::OnlineHeuristic;
+use vc_placement::online::{OnlineHeuristic, ScanConfig};
 
 fn bench_queue_sim(c: &mut Criterion) {
     let state = scenarios::paper_cloud(3);
@@ -36,7 +36,7 @@ fn bench_queue_sim(c: &mut Criterion) {
                 black_box(&state),
                 SimConfig::new(
                     trace.clone(),
-                    PolicyMode::GlobalBatch(Admission::FifoBlocking),
+                    PolicyMode::GlobalBatch(Admission::FifoBlocking, ScanConfig::default()),
                     3,
                 ),
             )

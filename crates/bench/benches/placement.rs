@@ -8,8 +8,10 @@ use rand::SeedableRng;
 use std::hint::black_box;
 use std::sync::Arc;
 use vc_model::workload::{random_capacity, RequestProfile};
+use vc_model::Request;
 use vc_model::{ClusterState, VmCatalog};
 use vc_placement::global::{self, Admission};
+use vc_placement::online::ScanConfig;
 use vc_placement::{baselines, exact, online, PlacementPolicy};
 use vc_topology::{generate, DistanceTiers};
 
@@ -91,10 +93,43 @@ fn bench_global_queue(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole measurement: the Algorithm-1 seed scan as a function of
+/// cloud size, sequential-exhaustive vs pruned vs pruned+parallel. All
+/// three return bit-identical allocations (proptest-enforced), so this is
+/// pure throughput. The request spans several nodes (20 VMs against ≤3
+/// instances per cell) so the single-node fast path never triggers.
+fn bench_scan_modes(c: &mut Criterion) {
+    let sizes: &[(usize, usize)] = &[(3, 10), (6, 20), (12, 40), (48, 40)];
+    let modes: &[(&str, ScanConfig)] = &[
+        ("sequential", ScanConfig::sequential_baseline()),
+        ("pruned", ScanConfig::pruned()),
+        ("pruned_parallel", ScanConfig::pruned_parallel(0)),
+    ];
+    let request = Request::from_counts(vec![8, 8, 4]);
+    for &(racks, nodes) in sizes {
+        let n = racks * nodes;
+        let state = cloud(racks, nodes, 7);
+        assert!(state.can_satisfy(&request), "bench request must fit");
+        let mut group = c.benchmark_group(format!("scan_modes_{n}nodes"));
+        group
+            .sample_size(10)
+            .measurement_time(std::time::Duration::from_secs(3));
+        for &(name, scan) in modes {
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    online::place_with(black_box(&request), black_box(&state), scan).unwrap()
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_online_scaling,
     bench_solvers_paper_size,
-    bench_global_queue
+    bench_global_queue,
+    bench_scan_modes
 );
 criterion_main!(benches);

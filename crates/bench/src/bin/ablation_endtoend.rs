@@ -16,7 +16,7 @@ use vc_mapreduce::{JobConfig, Workload};
 use vc_model::workload::RequestProfile;
 use vc_placement::baselines::Spread;
 use vc_placement::global::Admission;
-use vc_placement::online::OnlineHeuristic;
+use vc_placement::online::{OnlineHeuristic, ScanConfig};
 
 fn main() {
     let state = scenarios::paper_cloud(17);
@@ -44,7 +44,7 @@ fn main() {
         ),
         (
             "Algorithm 2 (global batch)",
-            PolicyMode::GlobalBatch(Admission::FifoBlocking),
+            PolicyMode::GlobalBatch(Admission::FifoBlocking, ScanConfig::default()),
         ),
         ("spread baseline", PolicyMode::Individual(Box::new(Spread))),
     ];

@@ -40,7 +40,7 @@ fn main() {
         };
         let queue = profile.sample_many(2, 3, &mut rng);
         // Only evaluate batches the cloud can admit in full.
-        let admitted = global::get_requests(&queue, &state, Admission::FifoBlocking);
+        let admitted = global::get_requests(&queue, &state, Admission::FifoBlocking).admitted;
         if admitted.len() != queue.len() {
             continue;
         }

@@ -34,9 +34,23 @@ fn build_cloud(p: &Parsed) -> Result<ClusterState, ArgError> {
     Ok(ClusterState::uniform_capacity(topo, catalog, capacity))
 }
 
-fn policy_by_name(name: &str) -> Result<Box<dyn PlacementPolicy>, ArgError> {
+/// The seed-scan configuration selected by `--placement-threads`
+/// (0 = auto-detect, 1 = sequential, n = that many workers). Pruning is
+/// always on — it never changes the chosen allocation.
+fn scan_config(p: &Parsed) -> Result<online::ScanConfig, ArgError> {
+    let threads = p.num_or("placement-threads", 1usize)?;
+    Ok(online::ScanConfig {
+        prune: true,
+        parallelism: online::Parallelism::from_thread_count(threads),
+    })
+}
+
+fn policy_by_name(
+    name: &str,
+    scan: online::ScanConfig,
+) -> Result<Box<dyn PlacementPolicy>, ArgError> {
     Ok(match name {
-        "online" => Box::new(online::OnlineHeuristic),
+        "online" => Box::new(online::OnlineScan(scan)),
         "exact" => Box::new(exact::ExactSd),
         "ilp" => Box::new(ilp::IlpSd),
         "first-fit" => Box::new(baselines::FirstFit),
@@ -94,7 +108,14 @@ fn write_observability(p: &Parsed, rec: &MemRecorder) -> Result<(), ArgError> {
 /// `affinity-vc place`
 pub fn place(p: &Parsed) -> Result<String, ArgError> {
     p.ensure_known(&[
-        "request", "policy", "racks", "nodes", "capacity", "seed", "json",
+        "request",
+        "policy",
+        "racks",
+        "nodes",
+        "capacity",
+        "seed",
+        "json",
+        "placement-threads",
     ])?;
     let counts = p
         .u32_list("request")?
@@ -110,7 +131,7 @@ pub fn place(p: &Parsed) -> Result<String, ArgError> {
     if request.is_zero() {
         return Err(ArgError::new("--request must ask for at least one VM"));
     }
-    let policy = policy_by_name(p.str_or("policy", "online"))?;
+    let policy = policy_by_name(p.str_or("policy", "online"), scan_config(p)?)?;
     let mut rng = StdRng::seed_from_u64(p.num_or("seed", 0u64)?);
 
     let allocation = policy
@@ -240,6 +261,7 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
         "save-trace",
         "trace-out",
         "metrics-out",
+        "placement-threads",
     ])?;
     let cloud = build_cloud(p)?;
     let count = p.num_or("requests", 20usize)?;
@@ -267,10 +289,11 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
     }
 
     let policy_name = p.str_or("policy", "online");
+    let scan = scan_config(p)?;
     let mode = if policy_name == "global" {
-        PolicyMode::GlobalBatch(Admission::FifoBlocking)
+        PolicyMode::GlobalBatch(Admission::FifoBlocking, scan)
     } else {
-        PolicyMode::Individual(policy_by_name(policy_name)?)
+        PolicyMode::Individual(policy_by_name(policy_name, scan)?)
     };
     let total = trace.len();
     let config = SimConfig::new(trace, mode, seed);
@@ -336,6 +359,7 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
         "reducers",
         "trace-out",
         "metrics-out",
+        "placement-threads",
     ])?;
     let cloud = build_cloud(p)?;
     let count = p.num_or("requests", 10usize)?;
@@ -352,10 +376,11 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
     let trace = process.generate(count, cloud.num_types(), &mut StdRng::seed_from_u64(seed));
 
     let policy_name = p.str_or("policy", "global");
+    let scan = scan_config(p)?;
     let mode = if policy_name == "global" {
-        PolicyMode::GlobalBatch(Admission::FifoBlocking)
+        PolicyMode::GlobalBatch(Admission::FifoBlocking, scan)
     } else {
-        PolicyMode::Individual(policy_by_name(policy_name)?)
+        PolicyMode::Individual(policy_by_name(policy_name, scan)?)
     };
     let service_name = p.str_or("service", "mapreduce");
     let service = match service_name {

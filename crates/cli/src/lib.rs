@@ -68,6 +68,7 @@ PLACE OPTIONS:
     --request a,b,c        VM counts per type (required)
     --policy <P>           online|exact|ilp|first-fit|best-fit|spread|random
                            [default: online]
+    --placement-threads <N> seed-scan workers (0 = auto)  [default: 1]
 
 SIMULATE-JOB OPTIONS:
     --spread a,b,c         VMs on master, same rack, cross rack [default: 2,10,0]
@@ -85,6 +86,7 @@ SIMULATE-QUEUE OPTIONS:
                            [default: online]
     --trace <FILE>         replay a saved JSON trace instead of generating
     --save-trace <FILE>    save the generated trace for later replay
+    --placement-threads <N> seed-scan workers (0 = auto)  [default: 1]
 
 SIMULATE OPTIONS:
     --requests/--rate/--policy as simulate-queue  [default policy: global]
@@ -201,6 +203,53 @@ mod tests {
     fn simulate_queue_runs() {
         let out = call(&["simulate-queue", "--requests", "5", "--policy", "global"]).unwrap();
         assert!(out.contains("served"), "{out}");
+    }
+
+    #[test]
+    fn placement_threads_do_not_change_results() {
+        // The parallel seed scan is bit-identical to the sequential one,
+        // so thread count must never alter any command's output.
+        for threads in ["0", "2", "4"] {
+            let base = call(&["place", "--request", "3,2,1", "--json"]).unwrap();
+            let multi = call(&[
+                "place",
+                "--request",
+                "3,2,1",
+                "--json",
+                "--placement-threads",
+                threads,
+            ])
+            .unwrap();
+            assert_eq!(base, multi, "--placement-threads {threads} changed place");
+        }
+        let base = call(&[
+            "simulate-queue",
+            "--requests",
+            "8",
+            "--policy",
+            "global",
+            "--json",
+        ])
+        .unwrap();
+        let multi = call(&[
+            "simulate-queue",
+            "--requests",
+            "8",
+            "--policy",
+            "global",
+            "--json",
+            "--placement-threads",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(base, multi, "--placement-threads changed simulate-queue");
+    }
+
+    #[test]
+    fn placement_threads_rejects_garbage() {
+        let err =
+            call(&["place", "--request", "1,0,0", "--placement-threads", "lots"]).unwrap_err();
+        assert!(err.to_string().contains("placement-threads"));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use vc_model::{Allocation, ClusterState};
 use vc_obs::{AttrValue, NoopRecorder, Recorder, SpanId, TrackId};
 use vc_placement::distance::distance_with_center;
 use vc_placement::global::{self, Admission};
+use vc_placement::online::ScanConfig;
 use vc_placement::{PlacementError, PlacementPolicy};
 
 /// Track-id stride between requests on a shared timeline: request `i`
@@ -25,9 +26,10 @@ pub enum PolicyMode {
     /// allow (plain FIFO; this is how Algorithm 1 and all baselines run).
     Individual(Box<dyn PlacementPolicy>),
     /// At every arrival/departure run **Algorithm 2** over the whole
-    /// queue: admit a batch, place with Algorithm 1, then apply the
-    /// Theorem-2 exchange pass before committing.
-    GlobalBatch(Admission),
+    /// queue: admit a batch, place with Algorithm 1 (scanning seeds per
+    /// the [`ScanConfig`]), then apply the Theorem-2 exchange pass before
+    /// committing.
+    GlobalBatch(Admission, ScanConfig),
 }
 
 /// Where a served request's holding time comes from.
@@ -315,7 +317,7 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
                             live.insert(req.id, alloc);
                         }
                         Err(PlacementError::Unsatisfiable { .. }) => break, // FIFO blocks
-                        Err(PlacementError::Refused { .. }) => {
+                        Err(PlacementError::Refused { .. } | PlacementError::Malformed { .. }) => {
                             queue.pop_front();
                             outcomes[idx].refused = true;
                             record_refused(req.id, now);
@@ -323,11 +325,30 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
                     }
                 }
             }
-            PolicyMode::GlobalBatch(admission) => {
+            PolicyMode::GlobalBatch(admission, scan) => {
                 let batch: Vec<_> = queue.iter().map(|&i| requests[i].request.clone()).collect();
-                let placed =
-                    global::place_queue_recorded(&batch, state, *admission, rec, now.as_micros())
-                        .expect("batched placement failed on admitted requests");
+                let placed = match global::place_queue_recorded(
+                    &batch,
+                    state,
+                    *admission,
+                    *scan,
+                    rec,
+                    now.as_micros(),
+                ) {
+                    Ok(placed) => placed,
+                    Err(err) => {
+                        // A placement-layer failure defers the whole batch
+                        // to the next event instead of aborting the run.
+                        rec.counter_add("cloudsim.batch_failed", 1);
+                        rec.event(
+                            "cloudsim.batch_failed",
+                            now.as_micros(),
+                            Some(TrackId(0)),
+                            &[("error", AttrValue::from(err.to_string()))],
+                        );
+                        return;
+                    }
+                };
                 let mut served_queue_positions: Vec<usize> = Vec::new();
                 for ((pos, alloc), &online_d) in
                     placed.served.iter().zip(&placed.served_online_distances)
@@ -352,7 +373,17 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
                     live.insert(req.id, alloc.clone());
                     served_queue_positions.push(*pos);
                 }
-                // Remove served entries from the queue (descending positions).
+                // The admission layer rejects malformed / over-capacity
+                // requests instead of letting them block the queue; the
+                // retain() pre-drop usually catches them first, but any
+                // that slip through leave the same way.
+                for &pos in &placed.rejected {
+                    let idx = queue[pos];
+                    outcomes[idx].refused = true;
+                    record_refused(requests[idx].id, now);
+                    served_queue_positions.push(pos);
+                }
+                // Remove settled entries from the queue (descending positions).
                 served_queue_positions.sort_unstable_by(|a, b| b.cmp(a));
                 for pos in served_queue_positions {
                     queue.remove(pos);
@@ -573,7 +604,7 @@ mod tests {
             &s,
             SimConfig::new(
                 trace(20, 7),
-                PolicyMode::GlobalBatch(Admission::FifoBlocking),
+                PolicyMode::GlobalBatch(Admission::FifoBlocking, ScanConfig::default()),
                 7,
             ),
         );

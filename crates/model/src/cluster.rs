@@ -1,6 +1,6 @@
 //! Cloud-wide resource accounting: capacity `M`, usage `C`, remaining `L`.
 
-use crate::{Allocation, ModelError, Request, ResourceMatrix, VmCatalog};
+use crate::{Allocation, ModelError, PlacementIndex, Request, ResourceMatrix, VmCatalog};
 use std::sync::Arc;
 use vc_topology::{NodeId, Topology};
 
@@ -8,13 +8,18 @@ use vc_topology::{NodeId, Topology};
 /// [`VmCatalog`], the per-node capacity matrix `M`, and the aggregate
 /// allocation matrix `C` (sum of all live allocations).
 ///
-/// Invariant: `C ≤ M` elementwise at all times; `L = M − C` is derived.
+/// Invariant: `C ≤ M` elementwise at all times; `L = M − C` and the
+/// [`PlacementIndex`] aggregates are maintained incrementally alongside
+/// every mutation, so [`remaining`](Self::remaining) and
+/// [`index`](Self::index) are free to read.
 #[derive(Debug, Clone)]
 pub struct ClusterState {
     topology: Arc<Topology>,
     catalog: Arc<VmCatalog>,
     capacity: ResourceMatrix,
     used: ResourceMatrix,
+    remaining: ResourceMatrix,
+    index: PlacementIndex,
 }
 
 impl ClusterState {
@@ -36,11 +41,15 @@ impl ClusterState {
             "capacity cols != type count"
         );
         let used = ResourceMatrix::zeros(capacity.num_nodes(), capacity.num_types());
+        let remaining = capacity.clone();
+        let index = PlacementIndex::build(&topology, &remaining);
         Self {
             topology,
             catalog,
             capacity,
             used,
+            remaining,
+            index,
         }
     }
 
@@ -104,14 +113,21 @@ impl ClusterState {
         &self.used
     }
 
-    /// The remaining matrix `L = M − C`.
-    pub fn remaining(&self) -> ResourceMatrix {
-        self.capacity.saturating_diff(&self.used)
+    /// The remaining matrix `L = M − C`, maintained incrementally.
+    #[inline]
+    pub fn remaining(&self) -> &ResourceMatrix {
+        &self.remaining
+    }
+
+    /// The incrementally maintained [`PlacementIndex`] over `L`.
+    #[inline]
+    pub fn index(&self) -> &PlacementIndex {
+        &self.index
     }
 
     /// The availability vector `A` (`A_j = Σ_i L_ij`).
     pub fn availability(&self) -> Request {
-        self.remaining().column_sums()
+        Request::from_counts(self.index.availability().to_vec())
     }
 
     /// Whether the request could *ever* be satisfied (`R_j ≤ Σ_i M_ij`).
@@ -136,13 +152,14 @@ impl ClusterState {
         if m.num_nodes() != self.num_nodes() || m.num_types() != self.num_types() {
             return Err(ModelError::DimensionMismatch);
         }
-        let remaining = self.remaining();
         for (node, ty, count) in m.entries() {
-            if count > remaining.get(node, ty) {
+            if count > self.remaining.get(node, ty) {
                 return Err(ModelError::NodeOverCommit { node });
             }
         }
         self.used.checked_add_assign(m);
+        self.remaining.checked_sub_assign(m);
+        self.index.record_delta(m, true);
         Ok(())
     }
 
@@ -161,6 +178,8 @@ impl ClusterState {
             }
         }
         self.used.checked_sub_assign(m);
+        self.remaining.checked_add_assign(m);
+        self.index.record_delta(m, false);
         Ok(())
     }
 
@@ -184,13 +203,17 @@ impl ClusterState {
     /// when some VMs are down or reconfigured is critical for the VM
     /// placement policy" — §VII).
     pub fn fail_node(&mut self, node: NodeId) -> Request {
+        let old_remaining = self.remaining.row(node).to_vec();
         let mut lost = Vec::with_capacity(self.num_types());
         for j in 0..self.num_types() {
             let t = crate::VmTypeId::from_index(j);
             lost.push(self.used.get(node, t));
             self.used.set(node, t, 0);
             self.capacity.set(node, t, 0);
+            self.remaining.set(node, t, 0);
         }
+        self.index
+            .replace_row(node, &old_remaining, &vec![0; self.num_types()]);
         Request::from_counts(lost)
     }
 
@@ -206,21 +229,20 @@ impl ClusterState {
             self.num_types(),
             "type count mismatch"
         );
+        let old_remaining = self.remaining.row(node).to_vec();
         for (j, &c) in capacity.counts().iter().enumerate() {
             let t = crate::VmTypeId::from_index(j);
             assert_eq!(self.used.get(node, t), 0, "restoring a node with live VMs");
             self.capacity.set(node, t, c);
+            self.remaining.set(node, t, c);
         }
+        self.index
+            .replace_row(node, &old_remaining, capacity.counts());
     }
 
     /// Remaining capacity on one node as a [`Request`] vector (`L[i]`).
     pub fn remaining_at(&self, node: NodeId) -> Request {
-        let mut counts = Vec::with_capacity(self.num_types());
-        for j in 0..self.num_types() {
-            let t = crate::VmTypeId::from_index(j);
-            counts.push(self.capacity.get(node, t) - self.used.get(node, t));
-        }
-        Request::from_counts(counts)
+        Request::from_counts(self.remaining.row(node).to_vec())
     }
 }
 
@@ -245,7 +267,7 @@ mod tests {
         let s = state();
         assert_eq!(s.availability().counts(), &[8, 8, 8]);
         assert_eq!(s.utilization(), 0.0);
-        assert!(s.remaining() == *s.capacity());
+        assert!(*s.remaining() == *s.capacity());
     }
 
     #[test]
@@ -341,6 +363,20 @@ mod tests {
         let a = alloc(&[vec![1, 0, 0], vec![0, 0, 0], vec![0, 0, 0], vec![0, 0, 0]]);
         s.allocate(&a).unwrap();
         s.restore_node(NodeId(0), &Request::from_counts(vec![2, 2, 2]));
+    }
+
+    #[test]
+    fn index_stays_consistent_through_mutations() {
+        let mut s = state();
+        let a = alloc(&[vec![1, 2, 0], vec![0, 1, 1], vec![0, 0, 0], vec![2, 0, 0]]);
+        s.allocate(&a).unwrap();
+        s.index().assert_consistent(s.topology(), s.remaining());
+        s.release(&a).unwrap();
+        s.index().assert_consistent(s.topology(), s.remaining());
+        s.fail_node(NodeId(1));
+        s.index().assert_consistent(s.topology(), s.remaining());
+        s.restore_node(NodeId(1), &Request::from_counts(vec![1, 0, 2]));
+        s.index().assert_consistent(s.topology(), s.remaining());
     }
 
     #[test]

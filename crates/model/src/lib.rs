@@ -23,6 +23,7 @@ mod allocation;
 mod catalog;
 mod cluster;
 mod error;
+mod index;
 mod matrix;
 pub mod pricing;
 mod request;
@@ -32,6 +33,7 @@ pub use allocation::Allocation;
 pub use catalog::{VmCatalog, VmType, VmTypeId};
 pub use cluster::ClusterState;
 pub use error::ModelError;
+pub use index::PlacementIndex;
 pub use matrix::ResourceMatrix;
 pub use pricing::PriceList;
 pub use request::Request;

@@ -243,7 +243,7 @@ mod tests {
                 .place(&req, &s, &mut rng)
                 .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
             assert!(a.satisfies(&req), "{} does not satisfy", p.name());
-            assert!(a.matrix().le(&s.remaining()), "{} over-commits", p.name());
+            assert!(a.matrix().le(s.remaining()), "{} over-commits", p.name());
         }
     }
 

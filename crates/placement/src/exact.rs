@@ -141,7 +141,7 @@ pub fn solve_brute(request: &Request, state: &ClusterState) -> Result<Allocation
     }
 
     let mut ctx = Ctx {
-        remaining: &remaining,
+        remaining,
         state,
         request,
         n,

@@ -14,7 +14,7 @@
 //!    unchanged) and strictly reduces the summed distance.
 
 use crate::distance::distance_with_center;
-use crate::online;
+use crate::online::{self, ScanConfig, ScanStats};
 use crate::policy::PlacementError;
 use vc_model::{Allocation, ClusterState, Request};
 use vc_obs::{AttrValue, NoopRecorder, Recorder};
@@ -32,6 +32,18 @@ pub enum Admission {
     FifoSkipping,
 }
 
+/// Which queue entries admission let through, and which it threw out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionDecision {
+    /// Indices the current availability can serve, in FIFO order.
+    pub admitted: Vec<usize>,
+    /// Indices that can *never* be served — malformed type vectors or
+    /// requests beyond total capacity. These used to stall a
+    /// [`FifoBlocking`](Admission::FifoBlocking) queue forever; now they
+    /// are rejected up front so traffic behind them keeps flowing.
+    pub rejected: Vec<usize>,
+}
+
 /// The outcome of serving a queue.
 #[derive(Debug, Clone)]
 pub struct QueuePlacement {
@@ -41,6 +53,9 @@ pub struct QueuePlacement {
     pub served: Vec<(usize, Allocation)>,
     /// Queue indices that could not be admitted this round.
     pub deferred: Vec<usize>,
+    /// Queue indices rejected outright (malformed or over total
+    /// capacity) — retrying them can never succeed.
+    pub rejected: Vec<usize>,
     /// Per-served-allocation centre distance right after step 2 (aligned
     /// with [`served`](Self::served)).
     pub served_online_distances: Vec<u64>,
@@ -52,21 +67,33 @@ pub struct QueuePlacement {
 
 /// Step 1 of Algorithm 2: which queue entries can be served now?
 ///
-/// Walks `queue` in order, tentatively reserving availability; returns the
-/// indices that fit. `FifoBlocking` stops at the first miss, `FifoSkipping`
-/// keeps scanning.
-pub fn get_requests(queue: &[Request], state: &ClusterState, admission: Admission) -> Vec<usize> {
+/// Walks `queue` in order, tentatively reserving availability.
+/// `FifoBlocking` stops at the first request that must *wait*;
+/// `FifoSkipping` keeps scanning past it. Requests that can never be
+/// served — wrong type-vector shape, or beyond total capacity `M` — are
+/// rejected without blocking either mode: waiting cannot help them, and
+/// letting one of them block a FIFO queue livelocks everything behind it.
+pub fn get_requests(
+    queue: &[Request],
+    state: &ClusterState,
+    admission: Admission,
+) -> AdmissionDecision {
     let mut available = state.availability();
-    let mut admitted = Vec::new();
+    let mut decision = AdmissionDecision {
+        admitted: Vec::new(),
+        rejected: Vec::new(),
+    };
     for (idx, request) in queue.iter().enumerate() {
-        if request.num_types() == available.num_types() && request.le(&available) {
+        if !state.fits_capacity(request) {
+            decision.rejected.push(idx);
+        } else if request.le(&available) {
             available.checked_sub_assign(request);
-            admitted.push(idx);
+            decision.admitted.push(idx);
         } else if admission == Admission::FifoBlocking {
             break;
         }
     }
-    admitted
+    decision
 }
 
 /// Steps 1–3 of Algorithm 2: admit, serve with Algorithm 1, then apply the
@@ -80,29 +107,100 @@ pub fn place_queue(
     state: &ClusterState,
     admission: Admission,
 ) -> Result<QueuePlacement, PlacementError> {
-    place_queue_recorded(queue, state, admission, &NoopRecorder, 0)
+    place_queue_recorded(
+        queue,
+        state,
+        admission,
+        ScanConfig::default(),
+        &NoopRecorder,
+        0,
+    )
+}
+
+/// [`place_queue`] with an explicit [`ScanConfig`] for the Algorithm-1
+/// seed scans (pruning / `--placement-threads` parallelism).
+pub fn place_queue_with(
+    queue: &[Request],
+    state: &ClusterState,
+    admission: Admission,
+    scan: ScanConfig,
+) -> Result<QueuePlacement, PlacementError> {
+    place_queue_recorded(queue, state, admission, scan, &NoopRecorder, 0)
 }
 
 /// [`place_queue`] with observability: per-request placement events (with
-/// chosen centre and `DC(C)`), the `placement.dc` histogram, and the
-/// Theorem-2 exchange-pass counters land on `rec`, timestamped `t_us`.
+/// chosen centre and `DC(C)`), the `placement.dc` histogram, seed-scan
+/// pruning counters, and the Theorem-2 exchange-pass counters land on
+/// `rec`, timestamped `t_us`.
 pub fn place_queue_recorded(
+    queue: &[Request],
+    state: &ClusterState,
+    admission: Admission,
+    scan: ScanConfig,
+    rec: &dyn Recorder,
+    t_us: u64,
+) -> Result<QueuePlacement, PlacementError> {
+    place_queue_impl(queue, state, admission, rec, t_us, &|request, working| {
+        online::place_with(request, working, scan)
+    })
+}
+
+/// The Algorithm-1 entry point the queue drives: request × working state
+/// → allocation + scan stats.
+type SolveFn<'a> =
+    dyn Fn(&Request, &ClusterState) -> Result<(Allocation, ScanStats), PlacementError> + 'a;
+
+/// Solver-parameterised core so tests can inject a broken solver and
+/// exercise the commit-failure path (Algorithm 1 itself never
+/// over-commits).
+fn place_queue_impl(
     queue: &[Request],
     state: &ClusterState,
     admission: Admission,
     rec: &dyn Recorder,
     t_us: u64,
+    solver: &SolveFn<'_>,
 ) -> Result<QueuePlacement, PlacementError> {
-    let admitted = get_requests(queue, state, admission);
+    let decision = get_requests(queue, state, admission);
+    let mut rejected = decision.rejected;
     let mut working = state.clone();
-    let mut served = Vec::with_capacity(admitted.len());
-    for &idx in &admitted {
-        let allocation = online::place(&queue[idx], &working)?;
-        working
-            .allocate(&allocation)
-            .expect("online heuristic produced an over-committed allocation");
-        served.push((idx, allocation));
+    let mut served = Vec::with_capacity(decision.admitted.len());
+    let mut scan_totals = ScanStats::default();
+    for &idx in &decision.admitted {
+        match solver(&queue[idx], &working) {
+            Ok((allocation, stats)) => {
+                scan_totals.seeds_scanned += stats.seeds_scanned;
+                scan_totals.seeds_pruned += stats.seeds_pruned;
+                scan_totals.seeds_aborted += stats.seeds_aborted;
+                // A broken solver must not take the whole run down: record
+                // the failure and defer the request (it stays queued).
+                match working.allocate(&allocation) {
+                    Ok(()) => served.push((idx, allocation)),
+                    Err(err) => {
+                        rec.counter_add("placement.commit_failed", 1);
+                        rec.event(
+                            "placement.commit_failed",
+                            t_us,
+                            None,
+                            &[
+                                ("queue_index", AttrValue::from(idx)),
+                                ("error", AttrValue::from(err.to_string())),
+                            ],
+                        );
+                    }
+                }
+            }
+            // Admission reserved availability, so these only fire on a
+            // state/solver disagreement; classify like admission would.
+            Err(PlacementError::Refused { .. } | PlacementError::Malformed { .. }) => {
+                rejected.push(idx);
+            }
+            Err(PlacementError::Unsatisfiable { .. }) => {}
+        }
     }
+    rejected.sort_unstable();
+    rec.counter_add("placement.seeds_scanned", scan_totals.seeds_scanned);
+    rec.counter_add("placement.seeds_pruned", scan_totals.seeds_pruned);
 
     let topo = state.topology();
     let served_online_distances: Vec<u64> = served
@@ -143,11 +241,22 @@ pub fn place_queue_recorded(
     }
     rec.counter_add("placement.requests_served", served.len() as u64);
 
-    let deferred: Vec<usize> = (0..queue.len()).filter(|i| !admitted.contains(i)).collect();
+    // deferred = everything neither served nor rejected, via an O(n) mask
+    // (the old `admitted.contains` scan was quadratic in queue length).
+    let mut settled = vec![false; queue.len()];
+    for (idx, _) in &served {
+        settled[*idx] = true;
+    }
+    for &idx in &rejected {
+        settled[idx] = true;
+    }
+    let deferred: Vec<usize> = (0..queue.len()).filter(|&i| !settled[i]).collect();
     rec.counter_add("placement.requests_deferred", deferred.len() as u64);
+    rec.counter_add("placement.requests_rejected", rejected.len() as u64);
     Ok(QueuePlacement {
         served,
         deferred,
+        rejected,
         served_online_distances,
         online_distance,
         optimized_distance,
@@ -283,14 +392,15 @@ mod tests {
         let s = state(&[vec![2, 0, 0], vec![2, 0, 0]], &[2]);
         let queue = vec![
             Request::from_counts(vec![3, 0, 0]),
-            Request::from_counts(vec![5, 0, 0]), // too big
+            Request::from_counts(vec![4, 0, 0]), // fits M, but only 1 left now
             Request::from_counts(vec![1, 0, 0]), // would fit, but blocked
         ];
-        assert_eq!(get_requests(&queue, &s, Admission::FifoBlocking), vec![0]);
-        assert_eq!(
-            get_requests(&queue, &s, Admission::FifoSkipping),
-            vec![0, 2]
-        );
+        let blocking = get_requests(&queue, &s, Admission::FifoBlocking);
+        assert_eq!(blocking.admitted, vec![0]);
+        assert!(blocking.rejected.is_empty());
+        let skipping = get_requests(&queue, &s, Admission::FifoSkipping);
+        assert_eq!(skipping.admitted, vec![0, 2]);
+        assert!(skipping.rejected.is_empty());
     }
 
     #[test]
@@ -300,7 +410,118 @@ mod tests {
             Request::from_counts(vec![3, 0, 0]),
             Request::from_counts(vec![2, 0, 0]), // only 1 left
         ];
-        assert_eq!(get_requests(&queue, &s, Admission::FifoSkipping), vec![0]);
+        assert_eq!(
+            get_requests(&queue, &s, Admission::FifoSkipping).admitted,
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn malformed_request_mid_queue_no_longer_stalls_fifo() {
+        // Regression: a request with the wrong number of VM types used to
+        // block a FifoBlocking queue forever — it could never be admitted
+        // (shape mismatch) and never got refused, so everything behind it
+        // starved. It must be rejected up front with later traffic served.
+        let s = state(&[vec![2, 0, 0], vec![2, 0, 0]], &[2]);
+        let queue = vec![
+            Request::from_counts(vec![1, 0, 0]),
+            Request::from_counts(vec![1, 1]), // malformed: 2 types, catalogue has 3
+            Request::from_counts(vec![1, 0, 0]),
+        ];
+        let decision = get_requests(&queue, &s, Admission::FifoBlocking);
+        assert_eq!(decision.admitted, vec![0, 2]);
+        assert_eq!(decision.rejected, vec![1]);
+
+        let out = place_queue(&queue, &s, Admission::FifoBlocking).unwrap();
+        assert_eq!(
+            out.served.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(out.rejected, vec![1]);
+        assert!(out.deferred.is_empty());
+    }
+
+    #[test]
+    fn over_capacity_request_mid_queue_rejected_not_blocking() {
+        let s = state(&[vec![2, 0, 0], vec![2, 0, 0]], &[2]);
+        let queue = vec![
+            Request::from_counts(vec![1, 0, 0]),
+            Request::from_counts(vec![9, 0, 0]), // beyond total capacity M
+            Request::from_counts(vec![1, 0, 0]),
+        ];
+        let decision = get_requests(&queue, &s, Admission::FifoBlocking);
+        assert_eq!(decision.admitted, vec![0, 2]);
+        assert_eq!(decision.rejected, vec![1]);
+    }
+
+    #[test]
+    fn commit_failure_defers_instead_of_panicking() {
+        use vc_obs::MemRecorder;
+        // Inject a solver that over-commits node 0 — place_queue must
+        // survive, record the failure, and leave the request deferred.
+        let s = state(&[vec![2, 0, 0], vec![2, 0, 0]], &[2]);
+        let queue = vec![
+            Request::from_counts(vec![1, 0, 0]),
+            Request::from_counts(vec![2, 0, 0]),
+        ];
+        let rec = MemRecorder::new();
+        let broken: &super::SolveFn<'_> = &|req, working| {
+            if req == &queue[1] {
+                // Claims 9 slots on node 0 — more than it has.
+                let mut m = ResourceMatrix::zeros(working.num_nodes(), working.num_types());
+                m.set(NodeId(0), VmTypeId(0), 9);
+                Ok((Allocation::new(m, NodeId(0)), online::ScanStats::default()))
+            } else {
+                online::place_with(req, working, online::ScanConfig::default())
+            }
+        };
+        let out = place_queue_impl(&queue, &s, Admission::FifoBlocking, &rec, 7, broken).unwrap();
+        assert_eq!(
+            out.served.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert_eq!(out.deferred, vec![1]);
+        assert!(out.rejected.is_empty());
+        let snap = rec.metrics();
+        assert_eq!(snap.counters["placement.commit_failed"], 1);
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| e.name == "placement.commit_failed" && e.t_us == 7));
+    }
+
+    #[test]
+    fn queue_scan_configs_agree() {
+        let s = state(
+            &[vec![2, 2, 2], vec![2, 2, 2], vec![2, 2, 2], vec![2, 2, 2]],
+            &[2, 2],
+        );
+        let queue = vec![
+            Request::from_counts(vec![3, 1, 0]),
+            Request::from_counts(vec![1, 2, 1]),
+            Request::from_counts(vec![4, 4, 4]),
+        ];
+        let base = place_queue_with(
+            &queue,
+            &s,
+            Admission::FifoSkipping,
+            online::ScanConfig::sequential_baseline(),
+        )
+        .unwrap();
+        for scan in [
+            online::ScanConfig::pruned(),
+            online::ScanConfig::pruned_parallel(2),
+        ] {
+            let out = place_queue_with(&queue, &s, Admission::FifoSkipping, scan).unwrap();
+            assert_eq!(out.deferred, base.deferred);
+            assert_eq!(out.rejected, base.rejected);
+            assert_eq!(out.served.len(), base.served.len());
+            for ((i1, a1), (i2, a2)) in out.served.iter().zip(base.served.iter()) {
+                assert_eq!(i1, i2);
+                assert_eq!(a1.matrix(), a2.matrix());
+                assert_eq!(a1.center(), a2.center());
+            }
+        }
     }
 
     #[test]
@@ -416,7 +637,15 @@ mod tests {
             Request::from_counts(vec![1, 1, 1]),
         ];
         let rec = MemRecorder::new();
-        let out = place_queue_recorded(&queue, &s, Admission::FifoBlocking, &rec, 42).unwrap();
+        let out = place_queue_recorded(
+            &queue,
+            &s,
+            Admission::FifoBlocking,
+            ScanConfig::default(),
+            &rec,
+            42,
+        )
+        .unwrap();
         let plain = place_queue(&queue, &s, Admission::FifoBlocking).unwrap();
         assert_eq!(out.optimized_distance, plain.optimized_distance);
 

@@ -176,7 +176,7 @@ mod tests {
             let de = distance_with_center(e.matrix(), s.topology(), e.center());
             assert_eq!(di, de, "ILP {di} != exact {de} for {req}");
             assert!(i.satisfies(&req));
-            assert!(i.matrix().le(&s.remaining()));
+            assert!(i.matrix().le(s.remaining()));
         }
     }
 

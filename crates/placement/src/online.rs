@@ -3,23 +3,160 @@
 //! For each candidate *seed* node the heuristic allocates as much of the
 //! request as possible on the seed, then fills from the seed's rack
 //! neighbours, then from the remaining nodes — always preferring nodes
-//! that can provide more resources (Theorem 1 justifies nearest-first
-//! filling). The seed whose completed allocation has the smallest
-//! seed-centred distance wins and becomes the cluster's central node.
+//! that can provide more resources toward the *outstanding remainder*
+//! (Theorem 1 justifies nearest-first filling). The seed whose completed
+//! allocation has the smallest seed-centred distance wins and becomes the
+//! cluster's central node; equal distances break toward the lowest seed id.
 //!
-//! Complexity: `O(n² m)` for `n` nodes and `m` VM types (each of the `n`
-//! seeds scans all nodes once; per-node work is `O(m)`), plus the
-//! `O(n² log n)` list sorts — matching the paper's stated bound.
+//! The naïve scan is `O(n² m)` plus `O(n² log n)` sort work per request.
+//! This module keeps that loop structure but makes it scale:
+//!
+//! * **cached aggregates** — candidate sort keys read the
+//!   [`PlacementIndex`](vc_model::PlacementIndex) maintained by
+//!   [`ClusterState`] instead of recomputing `row_request().com()` inside
+//!   every comparator;
+//! * **seed pruning** — each seed has an admissible lower bound on the
+//!   distance it could possibly achieve (outstanding VMs at the cheapest
+//!   same-rack hop while rack capacity lasts, the cheapest cross-rack hop
+//!   after), so seeds that cannot beat the incumbent are skipped and the
+//!   scan exits early once the incumbent meets the global bound;
+//! * **parallel scan** — seeds are split into contiguous chunks evaluated
+//!   on scoped threads (see [`Parallelism`]), sharing the incumbent
+//!   distance through an atomic so all chunks prune against the best
+//!   found anywhere.
+//!
+//! Every configuration returns **bit-identical** allocations: pruning
+//! rules are strict enough to never discard a potential winner, and the
+//! final reduce picks the lexicographically smallest `(distance, seed)`
+//! exactly like the sequential loop.
 
-use crate::distance::distance_with_center;
 use crate::policy::{check_admissible, PlacementError, PlacementPolicy};
-use vc_model::{Allocation, ClusterState, Request, ResourceMatrix};
-use vc_topology::NodeId;
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vc_model::{Allocation, ClusterState, PlacementIndex, Request, ResourceMatrix, VmTypeId};
+use vc_topology::{NodeId, Topology};
 
-/// Place `request` with the online heuristic.
+/// Worker-count knob for the seed scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Scan all seeds on the calling thread.
+    #[default]
+    Sequential,
+    /// Use exactly this many scan workers (values ≤ 1 run sequentially).
+    Threads(usize),
+    /// One worker per available core.
+    Auto,
+}
+
+impl Parallelism {
+    /// Map a CLI-style thread count onto a mode: `0` means [`Auto`]
+    /// (one worker per core), `1` means [`Sequential`], anything else is
+    /// [`Threads`]`(n)`.
+    ///
+    /// [`Auto`]: Parallelism::Auto
+    /// [`Sequential`]: Parallelism::Sequential
+    /// [`Threads`]: Parallelism::Threads
+    pub fn from_thread_count(n: usize) -> Self {
+        match n {
+            0 => Self::Auto,
+            1 => Self::Sequential,
+            n => Self::Threads(n),
+        }
+    }
+
+    /// Concrete worker count for a scan over `seeds` candidates.
+    fn workers(self, seeds: usize) -> usize {
+        let raw = match self {
+            Self::Sequential => 1,
+            Self::Threads(n) => n.max(1),
+            Self::Auto => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        };
+        raw.min(seeds.max(1))
+    }
+}
+
+/// How the seed scan should run. The default is pruned and sequential —
+/// the fastest single-threaded configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanConfig {
+    /// Skip seeds whose admissible lower bound cannot beat the incumbent,
+    /// abort fills that have already lost, and early-exit once the
+    /// incumbent meets the global bound.
+    pub prune: bool,
+    /// Seed-scan threading.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        Self {
+            prune: true,
+            parallelism: Parallelism::Sequential,
+        }
+    }
+}
+
+impl ScanConfig {
+    /// The unpruned single-threaded scan — the measurement baseline that
+    /// evaluates every seed in full.
+    pub const fn sequential_baseline() -> Self {
+        Self {
+            prune: false,
+            parallelism: Parallelism::Sequential,
+        }
+    }
+
+    /// Pruned, single-threaded (the default).
+    pub const fn pruned() -> Self {
+        Self {
+            prune: true,
+            parallelism: Parallelism::Sequential,
+        }
+    }
+
+    /// Pruned with an explicit thread count (`0` = one worker per core).
+    pub fn pruned_parallel(threads: usize) -> Self {
+        Self {
+            prune: true,
+            parallelism: Parallelism::from_thread_count(threads),
+        }
+    }
+}
+
+/// What one scan did — fuels the `placement.seeds_*` observability
+/// counters and the bench suite's pruning-efficacy numbers.
 ///
-/// Returns an error if the request is refused (over capacity) or must be
-/// queued (over current availability); otherwise always succeeds.
+/// In parallel runs the split between `seeds_pruned` and `seeds_aborted`
+/// depends on cross-thread timing; only the allocation itself and the
+/// invariant `scanned + pruned + aborted == total` are deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Candidate seeds overall (`n`, or what was left after the fast path).
+    pub seeds_total: u64,
+    /// Seeds evaluated to a complete allocation.
+    pub seeds_scanned: u64,
+    /// Seeds skipped outright by the lower bound.
+    pub seeds_pruned: u64,
+    /// Seeds whose fill was cut off once it could no longer win.
+    pub seeds_aborted: u64,
+    /// Whether a single node covered the whole request (no seed scan ran).
+    pub fast_path: bool,
+}
+
+impl ScanStats {
+    fn absorb(&mut self, other: &ScanStats) {
+        self.seeds_total += other.seeds_total;
+        self.seeds_scanned += other.seeds_scanned;
+        self.seeds_pruned += other.seeds_pruned;
+        self.seeds_aborted += other.seeds_aborted;
+    }
+}
+
+/// Place `request` with the online heuristic (default [`ScanConfig`]).
+///
+/// Returns an error if the request is refused (over capacity), malformed
+/// (wrong type-vector length), or must be queued (over current
+/// availability); otherwise always succeeds.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -35,93 +172,380 @@ use vc_topology::NodeId;
 /// assert!(allocation.rack_span(cloud.topology()) == 1); // compact
 /// ```
 pub fn place(request: &Request, state: &ClusterState) -> Result<Allocation, PlacementError> {
+    place_with(request, state, ScanConfig::default()).map(|(allocation, _)| allocation)
+}
+
+/// Place `request` with an explicit [`ScanConfig`], also returning the
+/// [`ScanStats`] for observability. All configurations produce
+/// bit-identical allocations.
+pub fn place_with(
+    request: &Request,
+    state: &ClusterState,
+    config: ScanConfig,
+) -> Result<(Allocation, ScanStats), PlacementError> {
     check_admissible(request, state)?;
     let topo = state.topology();
     let remaining = state.remaining();
+    let index = state.index();
     let n = state.num_nodes();
     let m = state.num_types();
 
     // Fast path (Algorithm 1, first loop): a single node covers the whole
     // request — distance 0, that node is the centre.
     for i in topo.node_ids() {
-        if remaining.row_request(i).com(request) == *request {
+        if covers(remaining.row(i), request.counts()) {
             let mut matrix = ResourceMatrix::zeros(n, m);
             for (ty, count) in request.nonzero() {
                 matrix.set(i, ty, count);
             }
-            return Ok(Allocation::new(matrix, i));
+            let stats = ScanStats {
+                seeds_total: n as u64,
+                fast_path: true,
+                ..ScanStats::default()
+            };
+            return Ok((Allocation::new(matrix, i), stats));
         }
     }
 
-    // How much a node can contribute towards the (full) request — the sort
-    // key for the candidate lists ("the more resources they provide, the
-    // greater chance of being selected").
-    let providable = |node: NodeId| -> u32 { remaining.row_request(node).com(request).total_vms() };
+    let (lower_bounds, global_min_lb) = if config.prune {
+        let lbs: Vec<u64> = topo
+            .node_ids()
+            .map(|seed| seed_lower_bound(topo, index, remaining, request.counts(), seed))
+            .collect();
+        let min = lbs.iter().copied().min().unwrap_or(0);
+        (lbs, min)
+    } else {
+        (Vec::new(), 0)
+    };
 
-    let mut best: Option<(u64, ResourceMatrix, NodeId)> = None;
-    for seed in topo.node_ids() {
-        let mut matrix = ResourceMatrix::zeros(n, m);
-        let mut outstanding = request.clone();
+    let ctx = ScanCtx {
+        topo,
+        remaining,
+        index,
+        request: request.counts(),
+        req_total: request.total_vms(),
+        prune: config.prune,
+        lower_bounds,
+        global_min_lb,
+    };
 
-        let take_from = |node: NodeId, outstanding: &mut Request, matrix: &mut ResourceMatrix| {
-            let take = remaining.row_request(node).com(outstanding);
-            if !take.is_zero() {
-                for (ty, count) in take.nonzero() {
-                    matrix.add(node, ty, count);
+    let workers = config.parallelism.workers(n);
+    let shared_best = AtomicU64::new(u64::MAX);
+    let (best, stats) = if workers <= 1 {
+        scan_range(&ctx, 0, n, &shared_best)
+    } else {
+        let chunk = n.div_ceil(workers);
+        let results: Vec<(Option<SeedResult>, ScanStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let ctx = &ctx;
+                    let shared = &shared_best;
+                    let lo = (w * chunk).min(n);
+                    let hi = ((w + 1) * chunk).min(n);
+                    scope.spawn(move || scan_range(ctx, lo, hi, shared))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("seed-scan worker panicked"))
+                .collect()
+        });
+        let mut best: Option<SeedResult> = None;
+        let mut stats = ScanStats::default();
+        for (candidate, chunk_stats) in results {
+            stats.absorb(&chunk_stats);
+            if let Some(c) = candidate {
+                // Lexicographic (distance, seed id) — identical to the
+                // sequential incumbent rule.
+                if best
+                    .as_ref()
+                    .is_none_or(|b| (c.distance, c.seed) < (b.distance, b.seed))
+                {
+                    best = Some(c);
                 }
-                outstanding.checked_sub_assign(&take);
-            }
-        };
-
-        take_from(seed, &mut outstanding, &mut matrix);
-
-        if !outstanding.is_zero() {
-            // rackList: same-rack nodes, most-providing first.
-            let mut rack_list = topo.rack_peers(seed);
-            rack_list.sort_by_key(|&node| (std::cmp::Reverse(providable(node)), node));
-            for node in rack_list {
-                if outstanding.is_zero() {
-                    break;
-                }
-                take_from(node, &mut outstanding, &mut matrix);
             }
         }
+        (best, stats)
+    };
 
-        if !outstanding.is_zero() {
-            // nRackList: remaining nodes, nearest tier first (relevant in
-            // multi-cloud topologies), most-providing first within a tier.
-            let mut non_rack = topo.non_rack_peers(seed);
-            non_rack.sort_by_key(|&node| {
-                (
-                    topo.distance(seed, node),
-                    std::cmp::Reverse(providable(node)),
-                    node,
-                )
-            });
-            for node in non_rack {
-                if outstanding.is_zero() {
-                    break;
-                }
-                take_from(node, &mut outstanding, &mut matrix);
-            }
-        }
-
-        // `can_satisfy` passed, and every seed's sweep visits all nodes, so
-        // the allocation is always complete here.
-        debug_assert!(outstanding.is_zero());
-        let d = distance_with_center(&matrix, topo, seed);
-        if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
-            best = Some((d, matrix, seed));
-        }
+    let Some(win) = best else {
+        return Err(PlacementError::Unsatisfiable {
+            request: request.clone(),
+        });
+    };
+    let mut matrix = ResourceMatrix::zeros(n, m);
+    for &(node, ty, count) in &win.takes {
+        matrix.set(node, VmTypeId::from_index(ty as usize), count);
     }
-
-    let (_, matrix, center) = best.ok_or_else(|| PlacementError::Unsatisfiable {
-        request: request.clone(),
-    })?;
-    Ok(Allocation::new(matrix, center))
+    Ok((Allocation::new(matrix, win.seed), stats))
 }
 
-/// [`PlacementPolicy`] wrapper around [`place`].
+/// Shared read-only inputs for one scan.
+struct ScanCtx<'a> {
+    topo: &'a Topology,
+    remaining: &'a ResourceMatrix,
+    index: &'a PlacementIndex,
+    request: &'a [u32],
+    req_total: u32,
+    prune: bool,
+    /// Per-seed admissible lower bounds (empty when pruning is off).
+    lower_bounds: Vec<u64>,
+    /// `min(lower_bounds)` — an incumbent at or below this cannot be beaten.
+    global_min_lb: u64,
+}
+
+/// A completed seed evaluation: the seed-centred distance and the sparse
+/// `(node, type, count)` takes that reconstruct the allocation matrix.
+struct SeedResult {
+    distance: u64,
+    seed: NodeId,
+    takes: Vec<(NodeId, u32, u32)>,
+}
+
+/// `min(row, want)` summed — how much this node can provide toward `want`.
+#[inline]
+fn capped_total(row: &[u32], want: &[u32]) -> u32 {
+    row.iter().zip(want).map(|(&a, &b)| a.min(b)).sum()
+}
+
+/// Whether `row` covers `want` elementwise.
+#[inline]
+fn covers(row: &[u32], want: &[u32]) -> bool {
+    row.iter().zip(want).all(|(&a, &b)| a >= b)
+}
+
+/// Admissible lower bound on the seed-centred distance any allocation
+/// seeded at `seed` can achieve: the seed takes its elementwise best, the
+/// outstanding VMs travel at least the cheapest same-rack hop while the
+/// rack's spare (non-seed) capacity lasts, and at least the cheapest
+/// cross-rack hop after that. Never overestimates, so pruning on it is
+/// exact.
+fn seed_lower_bound(
+    topo: &Topology,
+    index: &PlacementIndex,
+    remaining: &ResourceMatrix,
+    request: &[u32],
+    seed: NodeId,
+) -> u64 {
+    let row = remaining.row(seed);
+    let rack_free = index.rack_free(topo.rack_of(seed));
+    let mut out_total: u64 = 0;
+    let mut in_rack_cap: u64 = 0;
+    for j in 0..request.len() {
+        let out_j = u64::from(request[j] - row[j].min(request[j]));
+        out_total += out_j;
+        in_rack_cap += u64::from(rack_free[j] - row[j].min(rack_free[j])).min(out_j);
+    }
+    if out_total == 0 {
+        return 0;
+    }
+    match (
+        index.min_same_rack_distance(seed),
+        index.min_cross_rack_distance(seed),
+    ) {
+        (None, None) => 0,
+        (Some(d1), None) => u64::from(d1) * out_total,
+        (None, Some(d2)) => u64::from(d2) * out_total,
+        (Some(d1), Some(d2)) if d1 <= d2 => {
+            let near = in_rack_cap.min(out_total);
+            u64::from(d1) * near + u64::from(d2) * (out_total - near)
+        }
+        // Same-rack hops costing more than cross-rack ones only happen
+        // with explicit distance matrices; assume every outstanding VM
+        // travels at the cheaper cross-rack hop — still admissible.
+        (Some(_), Some(d2)) => u64::from(d2) * out_total,
+    }
+}
+
+/// Evaluate seeds `lo..hi` (ascending ids), returning the chunk's best
+/// completed seed and its scan statistics. `shared_best` carries the best
+/// distance found by *any* chunk; pruning against it uses strictly-greater
+/// comparisons so ties (which break by seed id in the final reduce) are
+/// never discarded.
+fn scan_range(
+    ctx: &ScanCtx<'_>,
+    lo: usize,
+    hi: usize,
+    shared_best: &AtomicU64,
+) -> (Option<SeedResult>, ScanStats) {
+    let m = ctx.request.len();
+    let mut stats = ScanStats {
+        seeds_total: (hi - lo) as u64,
+        ..ScanStats::default()
+    };
+    let mut best: Option<SeedResult> = None;
+    // Scratch reused across seeds to keep the hot loop allocation-free.
+    let mut out = vec![0u32; m];
+    let mut takes: Vec<(NodeId, u32, u32)> = Vec::new();
+    let mut rack_buf: Vec<(Reverse<u32>, NodeId)> = Vec::new();
+    let mut far_buf: Vec<(u32, Reverse<u32>, NodeId)> = Vec::new();
+
+    for s in lo..hi {
+        let seed = NodeId::from_index(s);
+        let local_best_d = best.as_ref().map_or(u64::MAX, |b| b.distance);
+        if ctx.prune {
+            // Incumbent already meets the best bound any seed has — no
+            // remaining seed can strictly beat it, and later ids lose ties.
+            if local_best_d <= ctx.global_min_lb {
+                stats.seeds_pruned += (hi - s) as u64;
+                break;
+            }
+            let lb = ctx.lower_bounds[s];
+            if lb >= local_best_d || lb > shared_best.load(Ordering::Relaxed) {
+                stats.seeds_pruned += 1;
+                continue;
+            }
+        }
+        match evaluate_seed(
+            ctx,
+            seed,
+            local_best_d,
+            shared_best,
+            &mut out,
+            &mut takes,
+            &mut rack_buf,
+            &mut far_buf,
+        ) {
+            Some(distance) => {
+                stats.seeds_scanned += 1;
+                // Ascending ids within the chunk: a tie keeps the earlier
+                // incumbent, so only strictly smaller distances replace it.
+                if distance < local_best_d {
+                    shared_best.fetch_min(distance, Ordering::Relaxed);
+                    best = Some(SeedResult {
+                        distance,
+                        seed,
+                        takes: takes.clone(),
+                    });
+                }
+            }
+            None => stats.seeds_aborted += 1,
+        }
+    }
+    (best, stats)
+}
+
+/// Run one seed's greedy fill: seed first, then rack peers keyed on what
+/// they provide toward the *post-seed* outstanding remainder, then
+/// non-rack nodes keyed on `(distance, providable-toward-remainder, id)`.
+///
+/// Returns the seed-centred distance, or `None` if the fill was aborted
+/// because it could no longer win (pruning only) or could not complete.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_seed(
+    ctx: &ScanCtx<'_>,
+    seed: NodeId,
+    local_best_d: u64,
+    shared_best: &AtomicU64,
+    out: &mut [u32],
+    takes: &mut Vec<(NodeId, u32, u32)>,
+    rack_buf: &mut Vec<(Reverse<u32>, NodeId)>,
+    far_buf: &mut Vec<(u32, Reverse<u32>, NodeId)>,
+) -> Option<u64> {
+    out.copy_from_slice(ctx.request);
+    takes.clear();
+    let mut out_total = ctx.req_total;
+    let mut distance: u64 = 0;
+
+    let take = |node: NodeId, out: &mut [u32], takes: &mut Vec<(NodeId, u32, u32)>| -> u32 {
+        let row = ctx.remaining.row(node);
+        let mut got = 0u32;
+        for (j, o) in out.iter_mut().enumerate() {
+            let t = row[j].min(*o);
+            if t > 0 {
+                *o -= t;
+                got += t;
+                takes.push((node, j as u32, t));
+            }
+        }
+        got
+    };
+
+    out_total -= take(seed, out, takes);
+
+    if out_total > 0 {
+        // rackList: same-rack peers, most-providing-toward-the-remainder
+        // first. When the remainder dominates the rack's free counts the
+        // index's (free-total, id) order is already exactly that, so the
+        // sort is skipped.
+        let rack = ctx.topo.rack_of(seed);
+        let members = ctx.index.rack_candidates(rack);
+        let dominated = covers(out, ctx.index.rack_free(rack));
+        rack_buf.clear();
+        if dominated {
+            // Remainder dominates the rack: providable(i) = free-total(i),
+            // so the index order is already the sorted order.
+            rack_buf.extend(
+                members
+                    .iter()
+                    .filter(|&&n| n != seed)
+                    .map(|&n| (Reverse(0), n)),
+            );
+        } else {
+            rack_buf.extend(
+                members
+                    .iter()
+                    .filter(|&&n| n != seed)
+                    .map(|&n| (Reverse(capped_total(ctx.remaining.row(n), out)), n)),
+            );
+            rack_buf.sort_unstable();
+        }
+        for &(_, node) in rack_buf.iter() {
+            if out_total == 0 {
+                break;
+            }
+            let got = take(node, out, takes);
+            if got > 0 {
+                out_total -= got;
+                distance += u64::from(got) * u64::from(ctx.topo.distance(seed, node));
+                if ctx.prune
+                    && (distance >= local_best_d || distance > shared_best.load(Ordering::Relaxed))
+                {
+                    return None;
+                }
+            }
+        }
+    }
+
+    if out_total > 0 {
+        // nRackList: remaining nodes, nearest tier first, most-providing
+        // toward the post-rack remainder within a tier.
+        let rack = ctx.topo.rack_of(seed);
+        far_buf.clear();
+        for node in ctx.topo.node_ids() {
+            if ctx.topo.rack_of(node) != rack {
+                far_buf.push((
+                    ctx.topo.distance(seed, node),
+                    Reverse(capped_total(ctx.remaining.row(node), out)),
+                    node,
+                ));
+            }
+        }
+        far_buf.sort_unstable();
+        for &(d_hop, _, node) in far_buf.iter() {
+            if out_total == 0 {
+                break;
+            }
+            let got = take(node, out, takes);
+            if got > 0 {
+                out_total -= got;
+                distance += u64::from(got) * u64::from(d_hop);
+                if ctx.prune
+                    && (distance >= local_best_d || distance > shared_best.load(Ordering::Relaxed))
+                {
+                    return None;
+                }
+            }
+        }
+    }
+
+    // `can_satisfy` passed, and a full sweep visits every node, so the
+    // fill always completes; guard anyway so an incomplete fill can never
+    // masquerade as a (wrong) winner.
+    (out_total == 0).then_some(distance)
+}
+
+/// [`PlacementPolicy`] wrapper around [`place`] (default scan).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OnlineHeuristic;
 
@@ -140,9 +564,31 @@ impl PlacementPolicy for OnlineHeuristic {
     }
 }
 
+/// [`PlacementPolicy`] wrapper around [`place_with`] carrying an explicit
+/// [`ScanConfig`] — the policy the CLI's `--placement-threads` flag
+/// constructs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineScan(pub ScanConfig);
+
+impl PlacementPolicy for OnlineScan {
+    fn name(&self) -> &'static str {
+        "online-heuristic"
+    }
+
+    fn place(
+        &self,
+        request: &Request,
+        state: &ClusterState,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Allocation, PlacementError> {
+        place_with(request, state, self.0).map(|(allocation, _)| allocation)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distance::distance_with_center;
     use crate::exact;
     use std::sync::Arc;
     use vc_model::VmCatalog;
@@ -157,14 +603,27 @@ mod tests {
         ClusterState::new(topo, cat, ResourceMatrix::from_rows(rows))
     }
 
+    fn all_configs() -> [ScanConfig; 4] {
+        [
+            ScanConfig::sequential_baseline(),
+            ScanConfig::pruned(),
+            ScanConfig::pruned_parallel(2),
+            ScanConfig {
+                prune: false,
+                parallelism: Parallelism::Threads(3),
+            },
+        ]
+    }
+
     #[test]
     fn single_node_fast_path() {
         let s = state(&[vec![1, 0, 0], vec![3, 3, 3], vec![1, 1, 1]], &[3]);
         let req = Request::from_counts(vec![2, 1, 1]);
-        let a = place(&req, &s).unwrap();
+        let (a, stats) = place_with(&req, &s, ScanConfig::default()).unwrap();
         assert!(a.satisfies(&req));
         assert_eq!(a.span(), 1);
         assert_eq!(a.center(), NodeId(1));
+        assert!(stats.fast_path);
     }
 
     #[test]
@@ -180,6 +639,79 @@ mod tests {
         // optimal: 2 on node 0 + 1 on node 1 (distance d1) — never cross-rack.
         let d = distance_with_center(a.matrix(), s.topology(), a.center());
         assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn stale_full_request_key_would_pick_worse_order() {
+        // Regression for the stale-sort-key bug: the rack list must be
+        // keyed on the remainder *after* the seed took its share.
+        //
+        // Seed 0 takes [2,0,0]; remainder [0,2,0]. Against the remainder
+        // node 2 provides 2 and node 1 provides 1, so node 2 alone
+        // completes the cluster (span 2). Keyed against the *full*
+        // request both tie at 2 and node 1 goes first, dragging node 2 in
+        // anyway (span 3) — strictly worse fragmentation.
+        let s = state(&[vec![2, 0, 0], vec![1, 1, 0], vec![0, 2, 0]], &[3]);
+        let req = Request::from_counts(vec![2, 2, 0]);
+        let a = place(&req, &s).unwrap();
+        assert!(a.satisfies(&req));
+        assert_eq!(a.center(), NodeId(0));
+        assert_eq!(a.span(), 2, "remainder key must finish on node 2 alone");
+        assert_eq!(a.matrix().node_total(NodeId(1)), 0);
+        assert_eq!(a.matrix().node_total(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn all_scan_configs_bit_identical() {
+        let s = state(
+            &[
+                vec![2, 1, 0],
+                vec![1, 0, 1],
+                vec![0, 2, 1],
+                vec![1, 1, 0],
+                vec![2, 0, 1],
+                vec![1, 2, 2],
+            ],
+            &[2, 2, 2],
+        );
+        for req in [
+            Request::from_counts(vec![2, 1, 1]),
+            Request::from_counts(vec![4, 2, 2]),
+            Request::from_counts(vec![6, 5, 4]),
+        ] {
+            let (base, base_stats) =
+                place_with(&req, &s, ScanConfig::sequential_baseline()).unwrap();
+            assert_eq!(
+                base_stats.seeds_scanned + base_stats.seeds_aborted,
+                base_stats.seeds_total,
+                "baseline never prunes"
+            );
+            for config in all_configs() {
+                let (a, stats) = place_with(&req, &s, config).unwrap();
+                assert_eq!(a.matrix(), base.matrix(), "{config:?}");
+                assert_eq!(a.center(), base.center(), "{config:?}");
+                assert_eq!(
+                    stats.seeds_scanned + stats.seeds_pruned + stats.seeds_aborted,
+                    stats.seeds_total,
+                    "{config:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_seeds_on_uniform_cloud() {
+        let topo = Arc::new(generate::uniform(4, 8, DistanceTiers::paper_experiment()));
+        let s = ClusterState::uniform_capacity(topo, Arc::new(VmCatalog::ec2_table1()), 1);
+        // Needs several nodes, so no fast path; uniform racks mean the
+        // first completed seed already meets the global lower bound.
+        let req = Request::from_counts(vec![3, 3, 3]);
+        let (_, stats) = place_with(&req, &s, ScanConfig::pruned()).unwrap();
+        assert!(!stats.fast_path);
+        assert!(
+            stats.seeds_pruned > 0,
+            "expected pruning on a uniform cloud, got {stats:?}"
+        );
     }
 
     #[test]
@@ -216,7 +748,7 @@ mod tests {
         let first = place(&Request::from_counts(vec![2, 0, 0]), &s).unwrap();
         s.allocate(&first).unwrap();
         let second = place(&Request::from_counts(vec![2, 0, 0]), &s).unwrap();
-        assert!(second.matrix().le(&s.remaining()));
+        assert!(second.matrix().le(s.remaining()));
         assert_eq!(second.matrix().get(NodeId(1), vc_model::VmTypeId(0)), 2);
     }
 
@@ -237,7 +769,24 @@ mod tests {
     }
 
     #[test]
+    fn malformed_request_rejected() {
+        let s = state(&[vec![1, 0, 0]], &[1]);
+        let err = place(&Request::from_counts(vec![1, 0]), &s).unwrap_err();
+        assert!(matches!(err, PlacementError::Malformed { .. }));
+    }
+
+    #[test]
+    fn parallelism_knob_mapping() {
+        assert_eq!(Parallelism::from_thread_count(0), Parallelism::Auto);
+        assert_eq!(Parallelism::from_thread_count(1), Parallelism::Sequential);
+        assert_eq!(Parallelism::from_thread_count(4), Parallelism::Threads(4));
+        assert_eq!(Parallelism::Threads(3).workers(2), 2);
+        assert_eq!(Parallelism::Sequential.workers(100), 1);
+    }
+
+    #[test]
     fn policy_name() {
         assert_eq!(OnlineHeuristic.name(), "online-heuristic");
+        assert_eq!(OnlineScan::default().name(), "online-heuristic");
     }
 }

@@ -6,6 +6,15 @@ use vc_model::{Allocation, ClusterState, Request};
 /// Why a placement attempt failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlacementError {
+    /// The request's type vector does not match the catalogue shape — it
+    /// can never be admitted *or* served, so queues must reject it
+    /// immediately instead of waiting for capacity that will never help.
+    Malformed {
+        /// Type count the cloud's catalogue defines.
+        expected: usize,
+        /// Type count the request carried.
+        got: usize,
+    },
     /// The request exceeds the cloud's *total* capacity `M` and can never
     /// be served — the paper refuses such requests outright.
     Refused {
@@ -23,6 +32,12 @@ pub enum PlacementError {
 impl fmt::Display for PlacementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Self::Malformed { expected, got } => {
+                write!(
+                    f,
+                    "request has {got} VM types but the catalogue defines {expected} (rejected)"
+                )
+            }
             Self::Refused { request } => {
                 write!(
                     f,
@@ -47,6 +62,12 @@ pub(crate) fn check_admissible(
     request: &Request,
     state: &ClusterState,
 ) -> Result<(), PlacementError> {
+    if request.num_types() != state.num_types() {
+        return Err(PlacementError::Malformed {
+            expected: state.num_types(),
+            got: request.num_types(),
+        });
+    }
     if !state.fits_capacity(request) {
         return Err(PlacementError::Refused {
             request: request.clone(),

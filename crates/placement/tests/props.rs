@@ -8,8 +8,9 @@ use std::sync::Arc;
 use vc_model::workload::{random_capacity, RequestProfile};
 use vc_model::{ClusterState, Request, VmCatalog};
 use vc_placement::distance::{cluster_distance, distance_with_center};
+use vc_placement::online::ScanConfig;
 use vc_placement::{baselines, exact, global, migration, online, PlacementPolicy};
-use vc_topology::generate;
+use vc_topology::{generate, DistanceTiers};
 
 fn paper_state(seed: u64) -> ClusterState {
     let topo = Arc::new(generate::paper_simulation());
@@ -21,6 +22,20 @@ fn paper_state(seed: u64) -> ClusterState {
 
 fn request() -> impl Strategy<Value = Request> {
     proptest::collection::vec(0u32..7, 3).prop_map(Request::from_counts)
+}
+
+/// A cloud over an arbitrary (possibly lopsided) rack layout with random
+/// per-cell capacities — exercises the seed scan's pruning bounds on
+/// shapes the paper topology never produces.
+fn random_state(rack_sizes: &[usize], cap_seed: u64) -> ClusterState {
+    let topo = Arc::new(generate::heterogeneous(
+        rack_sizes,
+        DistanceTiers::paper_experiment(),
+    ));
+    let catalog = Arc::new(VmCatalog::ec2_table1());
+    let mut rng = StdRng::seed_from_u64(cap_seed);
+    let capacity = random_capacity(&topo, &catalog, 3, &mut rng);
+    ClusterState::new(topo, catalog, capacity)
 }
 
 proptest! {
@@ -46,7 +61,7 @@ proptest! {
         for p in policies {
             let a = p.place(&req, &state, &mut rng).unwrap();
             prop_assert!(a.satisfies(&req), "{}", p.name());
-            prop_assert!(a.matrix().le(&state.remaining()), "{}", p.name());
+            prop_assert!(a.matrix().le(state.remaining()), "{}", p.name());
             let (d, _) = cluster_distance(a.matrix(), state.topology());
             prop_assert!(d >= d_opt, "{} beat the optimum: {d} < {d_opt}", p.name());
         }
@@ -101,6 +116,69 @@ proptest! {
             placed.served.iter_mut().map(|(_, a)| a).collect();
         let extra = global::suboptimize(&mut allocations, topo);
         prop_assert_eq!(extra, 0, "place_queue must already be at the exchange fixpoint");
+    }
+
+    /// Pruning and parallelism are pure accelerations: on arbitrary
+    /// topologies, every [`ScanConfig`] returns the *bit-identical*
+    /// allocation (matrix, centre, distance) — or the same error — as the
+    /// exhaustive sequential scan.
+    #[test]
+    fn scan_configs_bit_identical(
+        rack_sizes in proptest::collection::vec(1usize..6, 1..5),
+        cap_seed in 0u64..500,
+        req in request(),
+    ) {
+        prop_assume!(!req.is_zero());
+        let state = random_state(&rack_sizes, cap_seed);
+        let baseline = online::place_with(&req, &state, ScanConfig::sequential_baseline());
+        for scan in [
+            ScanConfig::pruned(),
+            ScanConfig::pruned_parallel(2),
+            ScanConfig::pruned_parallel(0),
+            ScanConfig { prune: false, parallelism: online::Parallelism::Threads(3) },
+        ] {
+            let got = online::place_with(&req, &state, scan);
+            match (&baseline, &got) {
+                (Ok((a, _)), Ok((b, _))) => {
+                    prop_assert_eq!(a.center(), b.center(), "centre differs under {:?}", scan);
+                    prop_assert!(a.matrix() == b.matrix(), "matrix differs under {:?}", scan);
+                    let topo = state.topology();
+                    prop_assert_eq!(
+                        distance_with_center(a.matrix(), topo, a.center()),
+                        distance_with_center(b.matrix(), topo, b.center()),
+                    );
+                }
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                _ => prop_assert!(false, "ok/err disagreement under {:?}", scan),
+            }
+        }
+    }
+
+    /// `place_queue` outcomes — who is served (and how), who is deferred,
+    /// who is rejected — never depend on the scan configuration.
+    #[test]
+    fn queue_outcome_invariant_under_scan_config(seed in 0u64..200, batch in 2usize..8) {
+        let state = paper_state(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51);
+        let queue = RequestProfile::standard().sample_many(3, batch, &mut rng);
+        for admission in [global::Admission::FifoBlocking, global::Admission::FifoSkipping] {
+            let base = global::place_queue_with(
+                &queue, &state, admission, ScanConfig::sequential_baseline(),
+            ).unwrap();
+            for scan in [ScanConfig::pruned(), ScanConfig::pruned_parallel(2)] {
+                let got = global::place_queue_with(&queue, &state, admission, scan).unwrap();
+                prop_assert_eq!(&base.deferred, &got.deferred, "{:?}", scan);
+                prop_assert_eq!(&base.rejected, &got.rejected, "{:?}", scan);
+                prop_assert_eq!(base.served.len(), got.served.len(), "{:?}", scan);
+                for ((bi, ba), (gi, ga)) in base.served.iter().zip(got.served.iter()) {
+                    prop_assert_eq!(bi, gi);
+                    prop_assert_eq!(ba.center(), ga.center());
+                    prop_assert!(ba.matrix() == ga.matrix(), "served matrix differs under {:?}", scan);
+                }
+                prop_assert_eq!(base.online_distance, got.online_distance);
+                prop_assert_eq!(base.optimized_distance, got.optimized_distance);
+            }
+        }
     }
 
     /// Rebalancing with a huge budget is idempotent and never hurts.

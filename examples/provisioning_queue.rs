@@ -11,7 +11,7 @@ use affinity_vc::cloudsim::sim::{run, PolicyMode, SimConfig};
 use affinity_vc::cloudsim::ArrivalProcess;
 use affinity_vc::placement::baselines::Spread;
 use affinity_vc::placement::global::Admission;
-use affinity_vc::placement::online::OnlineHeuristic;
+use affinity_vc::placement::online::{OnlineHeuristic, ScanConfig};
 use affinity_vc::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,7 +35,7 @@ fn main() {
         ),
         (
             "Algorithm 2 (global batch)",
-            PolicyMode::GlobalBatch(Admission::FifoBlocking),
+            PolicyMode::GlobalBatch(Admission::FifoBlocking, ScanConfig::default()),
         ),
         ("spread baseline", PolicyMode::Individual(Box::new(Spread))),
     ];

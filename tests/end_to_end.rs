@@ -104,7 +104,7 @@ fn all_policies_agree_on_feasibility_and_validity() {
                         policy.name()
                     );
                     assert!(
-                        alloc.matrix().le(&cloud.remaining()),
+                        alloc.matrix().le(cloud.remaining()),
                         "{} over-committed",
                         policy.name()
                     );

@@ -51,6 +51,12 @@ fn claim_fig2_heuristic_center_dominates_random() {
 /// §V-A / Figs. 5–6: Algorithm 2 never increases the total distance, and
 /// its *relative* benefit is larger on the small-request scenario than the
 /// standard one (paper: 12 % vs 2 %), in aggregate across seeds.
+///
+/// Batches of 40 requests so the cloud actually saturates: with the
+/// remainder-keyed phase sorts, Algorithm 1 places small requests
+/// near-optimally on an idle cloud, and the exchange pass only gains its
+/// small-request edge once compact slots become contested (the regime
+/// Figs. 5–6 measure).
 #[test]
 fn claim_fig5_fig6_global_gain_larger_for_small_requests() {
     let gain = |profile: RequestProfile| -> (u64, u64) {
@@ -58,7 +64,7 @@ fn claim_fig5_fig6_global_gain_larger_for_small_requests() {
         for seed in 0..48u64 {
             let state = paper_cloud(seed);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xAB);
-            let queue = profile.sample_many(3, 20, &mut rng);
+            let queue = profile.sample_many(3, 40, &mut rng);
             let placed =
                 global::place_queue(&queue, &state, global::Admission::FifoBlocking).unwrap();
             assert!(placed.optimized_distance <= placed.online_distance);

@@ -52,7 +52,7 @@ proptest! {
                 let dy = distance_with_center(y.matrix(), state.topology(), y.center());
                 prop_assert_eq!(dx, dy);
                 prop_assert!(x.satisfies(&req));
-                prop_assert!(x.matrix().le(&state.remaining()));
+                prop_assert!(x.matrix().le(state.remaining()));
             }
             (Err(_), Err(_)) => {}
             (x, y) => prop_assert!(false, "disagreement: {:?} vs {:?}", x, y),
@@ -85,7 +85,7 @@ proptest! {
         match online::place(&req, &state) {
             Ok(h) => {
                 prop_assert!(h.satisfies(&req));
-                prop_assert!(h.matrix().le(&state.remaining()));
+                prop_assert!(h.matrix().le(state.remaining()));
                 let opt = exact::solve(&req, &state).expect("exact agrees on feasibility");
                 let dh = distance_with_center(h.matrix(), state.topology(), h.center());
                 let dopt = distance_with_center(opt.matrix(), state.topology(), opt.center());
