@@ -7,13 +7,14 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vc_bench::scenarios;
-use vc_cloudsim::sim::{run, PolicyMode, ServiceModel, SimConfig};
+use vc_bench::{attribution, scenarios};
+use vc_cloudsim::sim::{run_recorded, PolicyMode, ServiceModel, SimConfig};
 use vc_cloudsim::{ArrivalProcess, ServiceTime};
 use vc_des::SimTime;
 use vc_mapreduce::engine::SimParams;
 use vc_mapreduce::{JobConfig, Workload};
 use vc_model::workload::RequestProfile;
+use vc_obs::MemRecorder;
 use vc_placement::baselines::Spread;
 use vc_placement::global::Admission;
 use vc_placement::online::{OnlineHeuristic, ScanConfig};
@@ -52,10 +53,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut series = Vec::new();
     for (name, mode) in modes {
-        let result = run(
+        let rec = MemRecorder::new();
+        let result = run_recorded(
             &state,
             SimConfig::new(trace.clone(), mode, 17).with_service(service()),
+            &rec,
         );
+        // Makespan-weighted critical-path split across every tenant job.
+        let attr = attribution::aggregate_cell(&attribution::trace_attributions(&rec));
         let total_job_s: f64 = result
             .outcomes
             .iter()
@@ -75,6 +80,7 @@ fn main() {
             total_job_s,
             makespan.as_secs_f64(),
             result.mean_wait.as_secs_f64(),
+            attr.clone(),
         ));
         rows.push(vec![
             name.to_string(),
@@ -83,6 +89,7 @@ fn main() {
             format!("{total_job_s:.0}"),
             format!("{:.0}", makespan.as_secs_f64()),
             format!("{:.1}", result.mean_wait.as_secs_f64()),
+            attr,
         ]);
     }
     vc_bench::table::print(
@@ -94,6 +101,7 @@ fn main() {
             "Σ job time (s)",
             "makespan (s)",
             "mean wait (s)",
+            "crit-path m/s/r/w",
         ],
         &rows,
     );

@@ -3,7 +3,7 @@
 //! Fig. 8 effects (and the 14-vs-16 anomaly) exist *because* of this
 //! mechanism; turning it off shows the counterfactual.
 
-use vc_bench::scenarios;
+use vc_bench::{attribution, scenarios};
 use vc_mapreduce::engine::SimParams;
 use vc_mapreduce::scheduler::SchedulerPolicy;
 use vc_mapreduce::{simulate_job, JobConfig};
@@ -13,22 +13,20 @@ fn main() {
     let mut rows = Vec::new();
     let mut series = Vec::new();
     for (name, cluster) in scenarios::fig7_clusters() {
-        let aware = simulate_job(
-            &cluster,
-            &job,
-            &SimParams {
-                scheduler: SchedulerPolicy::LocalityAware,
-                ..SimParams::default()
-            },
-        );
-        let blind = simulate_job(
-            &cluster,
-            &job,
-            &SimParams {
-                scheduler: SchedulerPolicy::FifoBlind,
-                ..SimParams::default()
-            },
-        );
+        let aware_params = SimParams {
+            scheduler: SchedulerPolicy::LocalityAware,
+            ..SimParams::default()
+        };
+        let blind_params = SimParams {
+            scheduler: SchedulerPolicy::FifoBlind,
+            ..SimParams::default()
+        };
+        let aware = simulate_job(&cluster, &job, &aware_params);
+        let blind = simulate_job(&cluster, &job, &blind_params);
+        // Critical-path split per scheduler: blind dispatch shifts time
+        // from map compute into shuffle/network categories.
+        let attr_aware = attribution::job_attribution(&cluster, &job, &aware_params);
+        let attr_blind = attribution::job_attribution(&cluster, &job, &blind_params);
         series.push((
             aware.cluster_distance,
             aware.runtime.as_secs_f64(),
@@ -42,6 +40,8 @@ fn main() {
             format!("{:.1}", blind.runtime.as_secs_f64()),
             format!("{}/{}", aware.data_local_maps, aware.num_maps),
             format!("{}/{}", blind.data_local_maps, blind.num_maps),
+            attribution::summary_cell(&attr_aware),
+            attribution::summary_cell(&attr_blind),
         ]);
     }
     vc_bench::table::print(
@@ -52,6 +52,8 @@ fn main() {
             "blind runtime (s)",
             "aware local maps",
             "blind local maps",
+            "aware m/s/r/w",
+            "blind m/s/r/w",
         ],
         &rows,
     );

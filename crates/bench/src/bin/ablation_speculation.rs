@@ -3,9 +3,10 @@
 //! speculation itself consumes affinity-sensitive bandwidth; compact
 //! clusters pay less for their backups.
 
-use vc_bench::scenarios;
+use vc_bench::{attribution, scenarios};
 use vc_mapreduce::engine::SimParams;
 use vc_mapreduce::{simulate_job, JobConfig};
+use vc_obs::Category;
 
 fn main() {
     let job = JobConfig::paper_wordcount();
@@ -25,12 +26,18 @@ fn main() {
         let without = simulate_job(&cluster, &job, &base);
         let with = simulate_job(&cluster, &job, &spec);
         let speedup = without.runtime.as_secs_f64() / with.runtime.as_secs_f64();
+        // Critical-path view: how much of the unmitigated makespan is
+        // straggler slack, and where the time goes once backups run.
+        let attr_base = attribution::job_attribution(&cluster, &job, &base);
+        let attr_spec = attribution::job_attribution(&cluster, &job, &spec);
+        let slack_pct = attribution::pct(&attr_base, Category::StragglerSlack);
         series.push((
             with.cluster_distance,
             without.runtime.as_secs_f64(),
             with.runtime.as_secs_f64(),
             with.speculative_attempts,
             with.speculative_wins,
+            slack_pct,
         ));
         rows.push(vec![
             name.to_string(),
@@ -38,6 +45,8 @@ fn main() {
             format!("{:.1}", with.runtime.as_secs_f64()),
             format!("{speedup:.2}x"),
             format!("{}/{}", with.speculative_wins, with.speculative_attempts),
+            format!("{slack_pct:.0}%"),
+            attribution::summary_cell(&attr_spec),
         ]);
     }
     vc_bench::table::print(
@@ -48,6 +57,8 @@ fn main() {
             "spec (s)",
             "speedup",
             "backup wins/launched",
+            "slack (no spec)",
+            "crit-path spec m/s/r/w",
         ],
         &rows,
     );

@@ -12,7 +12,7 @@ use vc_mapreduce::{JobConfig, VirtualCluster, Workload};
 use vc_model::workload::RequestProfile;
 use vc_model::{ClusterState, Request, VmCatalog};
 use vc_netsim::NetworkParams;
-use vc_obs::MemRecorder;
+use vc_obs::{MemRecorder, MetricsSnapshot, Recorder, ShardedRecorder, TraceDump};
 use vc_placement::distance::distance_with_center;
 use vc_placement::global::Admission;
 use vc_placement::{baselines, exact, ilp, online, PlacementPolicy};
@@ -80,13 +80,64 @@ fn wants_observability(p: &Parsed) -> bool {
     !p.str_or("trace-out", "").is_empty() || !p.str_or("metrics-out", "").is_empty()
 }
 
+/// The recorder a command records into: the single-threaded
+/// [`MemRecorder`] normally, the thread-safe [`ShardedRecorder`] when
+/// `--placement-threads` enables a parallel seed scan — scan workers then
+/// record per-thread chunk telemetry instead of tripping the
+/// `placement.recorder_unsync` fallback.
+enum CliRecorder {
+    Mem(MemRecorder),
+    Sharded(ShardedRecorder),
+}
+
+impl CliRecorder {
+    fn for_threads(threads: usize) -> Self {
+        if threads == 1 {
+            Self::Mem(MemRecorder::new())
+        } else {
+            Self::Sharded(ShardedRecorder::new())
+        }
+    }
+
+    fn as_recorder(&self) -> &dyn Recorder {
+        match self {
+            Self::Mem(r) => r,
+            Self::Sharded(r) => r,
+        }
+    }
+
+    fn trace_doc(&self) -> serde_json::Value {
+        match self {
+            Self::Mem(r) => vc_obs::chrome_trace(r),
+            Self::Sharded(r) => vc_obs::chrome_trace_sharded(r),
+        }
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        match self {
+            Self::Mem(r) => r.metrics(),
+            Self::Sharded(r) => r.merged().metrics,
+        }
+    }
+
+    fn span_event_counts(&self) -> (usize, usize) {
+        match self {
+            Self::Mem(r) => (r.spans().len(), r.events().len()),
+            Self::Sharded(r) => {
+                let m = r.merged();
+                (m.spans.len(), m.events.len())
+            }
+        }
+    }
+}
+
 /// Write the requested observability artefacts: a Chrome/Perfetto trace
 /// for `--trace-out` and a metrics snapshot for `--metrics-out` (CSV when
 /// the path ends in `.csv`, pretty JSON otherwise).
-fn write_observability(p: &Parsed, rec: &MemRecorder) -> Result<(), ArgError> {
+fn write_observability(p: &Parsed, rec: &CliRecorder) -> Result<(), ArgError> {
     match p.str_or("trace-out", "") {
         "" => {}
-        path => vc_obs::trace::save_chrome_trace(rec, path)
+        path => vc_obs::trace::save_trace_value(&rec.trace_doc(), path)
             .map_err(|e| ArgError::new(format!("--trace-out {path}: {e}")))?,
     }
     match p.str_or("metrics-out", "") {
@@ -220,8 +271,8 @@ pub fn simulate_job(p: &Parsed) -> Result<String, ArgError> {
         ..SimParams::default()
     };
     let m = if wants_observability(p) {
-        let rec = MemRecorder::new();
-        let m = vc_mapreduce::simulate_job_traced(&cluster, &job, &params, &rec, 0, 0);
+        let rec = CliRecorder::for_threads(1);
+        let m = vc_mapreduce::simulate_job_traced(&cluster, &job, &params, rec.as_recorder(), 0, 0);
         write_observability(p, &rec)?;
         m
     } else {
@@ -298,8 +349,8 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
     let total = trace.len();
     let config = SimConfig::new(trace, mode, seed);
     let result = if wants_observability(p) {
-        let rec = MemRecorder::new();
-        let result = vc_cloudsim::sim::run_recorded(&cloud, config, &rec);
+        let rec = CliRecorder::for_threads(p.num_or("placement-threads", 1usize)?);
+        let result = vc_cloudsim::sim::run_recorded(&cloud, config, rec.as_recorder());
         write_observability(p, &rec)?;
         result
     } else {
@@ -410,14 +461,15 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
     };
 
     let total = trace.len();
-    let rec = MemRecorder::new();
+    let rec = CliRecorder::for_threads(p.num_or("placement-threads", 1usize)?);
     let result = vc_cloudsim::sim::run_recorded(
         &cloud,
         SimConfig::new(trace, mode, seed).with_service(service),
-        &rec,
+        rec.as_recorder(),
     );
     write_observability(p, &rec)?;
     let snap = rec.metrics();
+    let (num_spans, num_events) = rec.span_event_counts();
 
     if p.switch("json") {
         return Ok(serde_json::json!({
@@ -427,8 +479,8 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
             "refused": result.refused,
             "total_distance": result.total_distance,
             "mean_wait_s": result.mean_wait.as_secs_f64(),
-            "events": rec.events().len(),
-            "spans": rec.spans().len(),
+            "events": num_events,
+            "spans": num_spans,
             "counters": snap.counters.len(),
             "histograms": snap.histograms.len(),
         })
@@ -443,11 +495,193 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
         result.refused,
         result.total_distance,
         result.mean_wait.as_secs_f64(),
-        rec.events().len(),
-        rec.spans().len(),
+        num_events,
+        num_spans,
         snap.counters.len(),
         snap.histograms.len(),
     ))
+}
+
+/// One `u64` attribute of a dumped audit event, defaulting to 0.
+fn event_u64(e: &vc_obs::critical_path::DumpEvent, key: &str) -> u64 {
+    e.attr(key).and_then(serde_json::Value::as_u64).unwrap_or(0)
+}
+
+/// `affinity-vc report` — analyse a trace written by `--trace-out`:
+/// per-job critical-path attribution (where did the makespan go), the
+/// placement decision audit (seed-scan work, bound gaps, Theorem-2
+/// exchanges), and optionally the headline placement counters from a
+/// `--metrics-out` snapshot.
+pub fn report(p: &Parsed) -> Result<String, ArgError> {
+    p.ensure_known(&["trace", "metrics", "json"])?;
+    let trace_path = p.required("trace").map_err(|_| {
+        ArgError::new("missing required option --trace <FILE> (a file written by --trace-out)")
+    })?;
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| ArgError::new(format!("--trace {trace_path}: I/O error: {e}")))?;
+    let doc: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| ArgError::new(format!("--trace {trace_path}: {e}")))?;
+    let dump = TraceDump::from_chrome_value(&doc)
+        .map_err(|e| ArgError::new(format!("--trace {trace_path}: {e}")))?;
+    let jobs = vc_obs::analyze(&dump);
+
+    let metrics: Option<serde_json::Value> = match p.str_or("metrics", "") {
+        "" => None,
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError::new(format!("--metrics {path}: I/O error: {e}")))?;
+            Some(
+                serde_json::from_str(&text)
+                    .map_err(|e| ArgError::new(format!("--metrics {path}: {e}")))?,
+            )
+        }
+    };
+
+    let scan_audits: Vec<&vc_obs::critical_path::DumpEvent> = dump
+        .events
+        .iter()
+        .filter(|e| e.name == "placement.scan_audit")
+        .collect();
+    let exchange_audits: Vec<&vc_obs::critical_path::DumpEvent> = dump
+        .events
+        .iter()
+        .filter(|e| e.name == "placement.exchange_audit")
+        .collect();
+
+    if p.switch("json") {
+        let event_obj = |e: &vc_obs::critical_path::DumpEvent| {
+            let mut entries = vec![("t_us".to_string(), serde_json::Value::U64(e.t_us))];
+            entries.extend(e.attrs.iter().cloned());
+            serde_json::Value::Object(entries)
+        };
+        let doc = serde_json::Value::Object(vec![
+            (
+                "jobs".to_string(),
+                serde_json::Value::Array(
+                    jobs.iter().map(vc_obs::JobAttribution::to_json).collect(),
+                ),
+            ),
+            (
+                "placement".to_string(),
+                serde_json::Value::Object(vec![
+                    (
+                        "scan_audits".to_string(),
+                        serde_json::Value::Array(
+                            scan_audits.iter().map(|e| event_obj(e)).collect(),
+                        ),
+                    ),
+                    (
+                        "exchange_audits".to_string(),
+                        serde_json::Value::Array(
+                            exchange_audits.iter().map(|e| event_obj(e)).collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "metrics".to_string(),
+                metrics.unwrap_or(serde_json::Value::Null),
+            ),
+        ]);
+        return Ok(doc.to_string());
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "critical-path attribution — {} job(s)\n",
+        jobs.len()
+    ));
+    if !jobs.is_empty() {
+        // Abbreviated category headers so the table stays under 100 cols;
+        // the full names are in the JSON output and docs/metrics-schema.md.
+        let short = |cat: vc_obs::Category| match cat {
+            vc_obs::Category::Map => "map",
+            vc_obs::Category::StragglerSlack => "straggler",
+            vc_obs::Category::ShuffleSerialisation => "shuf-ser",
+            vc_obs::Category::ShuffleNetworkWait => "shuf-net",
+            vc_obs::Category::Reduce => "reduce",
+            vc_obs::Category::SchedulerWait => "sched",
+        };
+        out.push_str(&format!(
+            "{:>6} {:>6} {:>10} {:>10}",
+            "track", "dc", "start_s", "makespan_s"
+        ));
+        for cat in vc_obs::CATEGORIES {
+            out.push_str(&format!(" {:>10}", short(cat)));
+        }
+        out.push('\n');
+        for job in &jobs {
+            let makespan = job.makespan_us();
+            out.push_str(&format!(
+                "{:>6} {:>6} {:>10.2} {:>10.2}",
+                job.track,
+                job.distance
+                    .map_or_else(|| "-".to_string(), |d| d.to_string()),
+                job.start_us as f64 / 1e6,
+                makespan as f64 / 1e6,
+            ));
+            for cat in vc_obs::CATEGORIES {
+                let us = job.total_us(cat);
+                let pct = if makespan > 0 {
+                    100.0 * us as f64 / makespan as f64
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(" {pct:>9.1}%"));
+            }
+            out.push('\n');
+        }
+    }
+
+    out.push_str(&format!(
+        "\nplacement — {} decision(s), {} exchange batch(es)\n",
+        scan_audits.len(),
+        exchange_audits.len()
+    ));
+    if !scan_audits.is_empty() {
+        let sum = |key: &str| -> u64 { scan_audits.iter().map(|e| event_u64(e, key)).sum() };
+        let gap_total = sum("bound_gap");
+        out.push_str(&format!(
+            "  seeds: {} total — {} scanned, {} pruned, {} aborted, {} tied; \
+             mean bound gap {:.2}\n",
+            sum("seeds_total"),
+            sum("seeds_scanned"),
+            sum("seeds_pruned"),
+            sum("seeds_aborted"),
+            sum("seeds_tied"),
+            gap_total as f64 / scan_audits.len() as f64,
+        ));
+    }
+    if !exchange_audits.is_empty() {
+        let sum = |key: &str| -> u64 { exchange_audits.iter().map(|e| event_u64(e, key)).sum() };
+        out.push_str(&format!(
+            "  exchanges: {} swaps over {} passes, distance saved {} ({} → {})\n",
+            sum("swaps"),
+            sum("passes"),
+            sum("saved"),
+            sum("online_distance"),
+            sum("optimized_distance"),
+        ));
+    }
+
+    if let Some(metrics) = &metrics {
+        if let Some(counters) = metrics
+            .get("counters")
+            .and_then(serde_json::Value::as_object)
+        {
+            let placement: Vec<_> = counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("placement."))
+                .collect();
+            if !placement.is_empty() {
+                out.push_str("\ncounters (--metrics):\n");
+                for (k, v) in placement {
+                    out.push_str(&format!("  {k} = {v}\n"));
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// `affinity-vc derive-distance`

@@ -33,6 +33,7 @@ pub fn run(argv: &[String]) -> Result<String, ArgError> {
         "simulate-job" => commands::simulate_job(&parsed),
         "simulate-queue" => commands::simulate_queue(&parsed),
         "simulate" | "run" => commands::simulate(&parsed),
+        "report" => commands::report(&parsed),
         "derive-distance" => commands::derive_distance(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(ArgError::new(format!(
@@ -54,6 +55,7 @@ COMMANDS:
     simulate-job      run a MapReduce job on a virtual cluster
     simulate-queue    run a request-queue simulation
     simulate          end-to-end: queue + placement + MapReduce (alias: run)
+    report            analyse a recorded trace: critical path + placement audit
     derive-distance   derive a distance matrix from network latencies
     help              show this text
 
@@ -96,6 +98,11 @@ SIMULATE OPTIONS:
 OBSERVABILITY (simulate, simulate-job, simulate-queue):
     --trace-out <FILE>     write a Chrome/Perfetto trace-event timeline
     --metrics-out <FILE>   write a metrics snapshot (.csv for CSV, else JSON)
+
+REPORT OPTIONS:
+    --trace <FILE>         trace written by --trace-out (required)
+    --metrics <FILE>       metrics JSON written by --metrics-out (optional)
+    --json                 emit the full report as JSON
 "
     .to_string()
 }
@@ -424,6 +431,133 @@ mod obs_cli_tests {
     fn simulate_rejects_unknown_service() {
         let err = call(&["simulate", "--service", "magic"]).unwrap_err();
         assert!(err.to_string().contains("service"));
+    }
+
+    #[test]
+    fn report_requires_trace() {
+        let err = call(&["report"]).unwrap_err();
+        assert!(err.to_string().contains("--trace"), "{err}");
+    }
+
+    #[test]
+    fn report_attribution_sums_to_makespan() {
+        // Acceptance check: on a WordCount end-to-end run, every job's
+        // category attribution must tile its makespan exactly.
+        let (tp, tps) = tmp("affinity_vc_report_trace.json");
+        call(&[
+            "simulate",
+            "--requests",
+            "3",
+            "--maps",
+            "4",
+            "--workload",
+            "wordcount",
+            "--trace-out",
+            &tps,
+        ])
+        .unwrap();
+        let out = call(&["report", "--trace", &tps, "--json"]).unwrap();
+        std::fs::remove_file(&tp).ok();
+        let v: Value = serde_json::from_str(&out).unwrap();
+        let jobs = v["jobs"].as_array().unwrap();
+        assert!(!jobs.is_empty(), "no jobs in report");
+        for job in jobs {
+            let makespan = job["makespan_us"].as_u64().unwrap();
+            let cats = job["categories_us"].as_object().unwrap();
+            let total: u64 = cats.iter().map(|(_, v)| v.as_u64().unwrap()).sum();
+            assert!(
+                total.abs_diff(makespan) <= 1,
+                "attribution {total} != makespan {makespan}"
+            );
+        }
+        assert!(
+            !v["placement"]["scan_audits"].as_array().unwrap().is_empty(),
+            "expected scan audits in report"
+        );
+    }
+
+    #[test]
+    fn report_text_table_with_metrics() {
+        let (tp, tps) = tmp("affinity_vc_report_t2.json");
+        let (mp, mps) = tmp("affinity_vc_report_m2.json");
+        call(&[
+            "simulate",
+            "--requests",
+            "3",
+            "--maps",
+            "4",
+            "--placement-threads",
+            "2",
+            "--trace-out",
+            &tps,
+            "--metrics-out",
+            &mps,
+        ])
+        .unwrap();
+        let out = call(&["report", "--trace", &tps, "--metrics", &mps]).unwrap();
+        std::fs::remove_file(&tp).ok();
+        std::fs::remove_file(&mp).ok();
+        assert!(out.contains("critical-path attribution"), "{out}");
+        assert!(out.contains("makespan_s"), "{out}");
+        assert!(out.contains("placement —"), "{out}");
+        assert!(out.contains("seeds:"), "{out}");
+        assert!(out.contains("placement.seeds_scanned"), "{out}");
+    }
+
+    #[test]
+    fn sharded_threads_match_sequential_artifacts() {
+        // --placement-threads selects the ShardedRecorder; the merged
+        // trace must carry the same deterministic placement telemetry as
+        // the single-threaded MemRecorder run.
+        let (t1, t1s) = tmp("affinity_vc_shard_t1.json");
+        let (t2, t2s) = tmp("affinity_vc_shard_t2.json");
+        let base = call(&[
+            "simulate-queue",
+            "--requests",
+            "6",
+            "--policy",
+            "global",
+            "--json",
+            "--trace-out",
+            &t1s,
+        ])
+        .unwrap();
+        let multi = call(&[
+            "simulate-queue",
+            "--requests",
+            "6",
+            "--policy",
+            "global",
+            "--json",
+            "--placement-threads",
+            "0",
+            "--trace-out",
+            &t2s,
+        ])
+        .unwrap();
+        assert_eq!(base, multi, "results must not depend on the recorder");
+        let (a, b) = (read_json(&t1), read_json(&t2));
+        std::fs::remove_file(&t1).ok();
+        std::fs::remove_file(&t2).ok();
+        // Deterministic placement events agree between recorders.
+        let placed = |doc: &Value| -> Vec<String> {
+            let mut v: Vec<String> = doc["traceEvents"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .filter(|e| {
+                    e["ph"].as_str() == Some("i")
+                        && matches!(
+                            e["name"].as_str(),
+                            Some("placement.request_placed" | "placement.exchange_audit")
+                        )
+                })
+                .map(|e| format!("{} {} {}", e["name"], e["ts"], e["args"]))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(placed(&a), placed(&b));
     }
 
     #[test]

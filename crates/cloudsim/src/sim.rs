@@ -293,7 +293,7 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
             PolicyMode::Individual(policy) => {
                 while let Some(&idx) = queue.front() {
                     let req = &requests[idx];
-                    match policy.place(&req.request, state, rng) {
+                    match policy.place_recorded(&req.request, state, rng, rec, now.as_micros()) {
                         Ok(alloc) => {
                             queue.pop_front();
                             state

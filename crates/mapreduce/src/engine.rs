@@ -85,9 +85,20 @@ impl EventKind for Event {
 
 #[derive(Debug, Clone, Copy)]
 enum FlowPurpose {
-    MapRead { task: u32, attempt: u8 },
-    Shuffle { reducer: u32 },
-    OutputWrite { reducer: u32 },
+    MapRead {
+        task: u32,
+        attempt: u8,
+    },
+    Shuffle {
+        reducer: u32,
+        /// Contention-free transfer time of this fetch, µs (0 when the
+        /// recorder is disabled). Feeds the critical-path split between
+        /// shuffle wire time and network wait.
+        ideal_us: u64,
+    },
+    OutputWrite {
+        reducer: u32,
+    },
 }
 
 /// One execution attempt of a map task (speculation may run two).
@@ -139,6 +150,9 @@ struct ReduceTask {
     commit_legs: u32,
     /// Open span for the current phase (shuffle/reduce/commit).
     span: SpanId,
+    /// Contention-free duration of the most recently completed fetch,
+    /// µs; attached to the shuffle span for critical-path attribution.
+    last_fetch_ideal_us: u64,
 }
 
 struct Sim<'a, R: Recorder> {
@@ -260,6 +274,7 @@ fn simulate_job_with<R: Recorder>(
             input_mb: total_map_output / f64::from(job.num_reducers),
             commit_legs: 0,
             span: SpanId::NULL,
+            last_fetch_ideal_us: 0,
         })
         .collect();
 
@@ -429,7 +444,9 @@ impl<R: Recorder> Sim<'_, R> {
     fn dispatch_flow(&mut self, now: SimTime, purpose: FlowPurpose) {
         match purpose {
             FlowPurpose::MapRead { task, attempt } => self.on_map_read_done(now, task, attempt),
-            FlowPurpose::Shuffle { reducer } => self.on_fetch_done(now, reducer),
+            FlowPurpose::Shuffle { reducer, ideal_us } => {
+                self.on_fetch_done(now, reducer, ideal_us)
+            }
             FlowPurpose::OutputWrite { reducer } => self.on_commit_leg_done(now, reducer),
         }
     }
@@ -552,6 +569,13 @@ impl<R: Recorder> Sim<'_, R> {
                 ("speculative", AttrValue::Bool(attempt > 0)),
             ],
         );
+        // Stragglers hit first attempts only; record the factor so the
+        // critical-path analyzer can separate slack from useful map time.
+        let slowdown = self.maps[task as usize].slowdown;
+        if attempt == 0 && slowdown > 1.0 {
+            self.rec
+                .span_attr(span, "slowdown", AttrValue::from(slowdown));
+        }
         if attempt > 0 {
             self.rec.event(
                 "mr.speculative_launch",
@@ -695,12 +719,24 @@ impl<R: Recorder> Sim<'_, R> {
             bytes,
         );
         self.outstanding_fetch_flows += 1;
-        self.start_flow(now, src, dst, bytes, FlowPurpose::Shuffle { reducer });
+        let ideal_us = if self.rec.enabled() {
+            self.net.isolated_transfer_time(src, dst, bytes).as_micros()
+        } else {
+            0
+        };
+        self.start_flow(
+            now,
+            src,
+            dst,
+            bytes,
+            FlowPurpose::Shuffle { reducer, ideal_us },
+        );
     }
 
-    fn on_fetch_done(&mut self, now: SimTime, reducer: u32) {
+    fn on_fetch_done(&mut self, now: SimTime, reducer: u32, ideal_us: u64) {
         self.outstanding_fetch_flows -= 1;
         self.reducers[reducer as usize].fetches_done += 1;
+        self.reducers[reducer as usize].last_fetch_ideal_us = ideal_us;
         if self.outstanding_fetch_flows == 0 && self.maps_done == self.maps.len() as u32 {
             self.shuffle_finished_at = now;
         }
@@ -714,6 +750,21 @@ impl<R: Recorder> Sim<'_, R> {
             && all_maps_done
             && r.fetches_done == self.maps.len() as u32
         {
+            if self.rec.enabled() {
+                // Everything the critical-path analyzer needs to split the
+                // shuffle tail: when the maps stopped producing, and the
+                // contention-free duration of the gating (last) fetch.
+                self.rec.span_attr(
+                    r.span,
+                    "maps_done_us",
+                    AttrValue::from(self.t(self.maps_finished_at)),
+                );
+                self.rec.span_attr(
+                    r.span,
+                    "last_fetch_ideal_us",
+                    AttrValue::from(r.last_fetch_ideal_us),
+                );
+            }
             self.rec.span_end(r.span, self.t(now));
             let vm_id = r.vm.expect("computing reducer has a vm");
             let span = self.rec.span_begin(

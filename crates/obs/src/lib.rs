@@ -26,12 +26,16 @@
 //! additionally be sampled with [`Recorder::counter_sample`] to appear as
 //! counter tracks in the timeline.
 
+pub mod critical_path;
 pub mod metrics;
 pub mod recorder;
+pub mod sharded;
 pub mod trace;
 
+pub use critical_path::{analyze, Category, JobAttribution, Segment, TraceDump, CATEGORIES};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{
     AttrValue, EventRecord, MemRecorder, NoopRecorder, Recorder, SpanId, SpanRecord, TrackId,
 };
-pub use trace::chrome_trace;
+pub use sharded::{MergedTrace, ShardedRecorder};
+pub use trace::{chrome_trace, chrome_trace_sharded};

@@ -158,6 +158,15 @@ pub trait Recorder {
     /// Attach an attribute to an open span (outcomes discovered after
     /// the span began, e.g. which attempt won a speculative race).
     fn span_attr(&self, _span: SpanId, _key: &'static str, _value: AttrValue) {}
+
+    /// A `Sync` view of this recorder, if it may be called from multiple
+    /// threads concurrently. The default (`None`) marks single-threaded
+    /// recorders such as [`MemRecorder`]; parallel code paths use this to
+    /// decide whether worker threads may record directly or must fall
+    /// back to aggregate recording on the calling thread.
+    fn as_sync(&self) -> Option<&(dyn Recorder + Sync)> {
+        None
+    }
 }
 
 /// Forwarding impls so instrumented code generic over `R: Recorder` also
@@ -193,6 +202,9 @@ impl<R: Recorder + ?Sized> Recorder for &R {
     fn span_attr(&self, span: SpanId, key: &'static str, value: AttrValue) {
         (**self).span_attr(span, key, value)
     }
+    fn as_sync(&self) -> Option<&(dyn Recorder + Sync)> {
+        (**self).as_sync()
+    }
 }
 
 impl<R: Recorder + ?Sized> Recorder for std::rc::Rc<R> {
@@ -226,6 +238,45 @@ impl<R: Recorder + ?Sized> Recorder for std::rc::Rc<R> {
     fn span_attr(&self, span: SpanId, key: &'static str, value: AttrValue) {
         (**self).span_attr(span, key, value)
     }
+    fn as_sync(&self) -> Option<&(dyn Recorder + Sync)> {
+        (**self).as_sync()
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for std::sync::Arc<R> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        (**self).counter_add(name, delta)
+    }
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        (**self).gauge_set(name, value)
+    }
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        (**self).histogram_record(name, value)
+    }
+    fn counter_sample(&self, name: &'static str, t_us: u64, value: f64) {
+        (**self).counter_sample(name, t_us, value)
+    }
+    fn track_name(&self, track: TrackId, name: &str) {
+        (**self).track_name(track, name)
+    }
+    fn event(&self, name: &'static str, t_us: u64, track: Option<TrackId>, attrs: &[Attr]) {
+        (**self).event(name, t_us, track, attrs)
+    }
+    fn span_begin(&self, track: TrackId, name: &'static str, t_us: u64, attrs: &[Attr]) -> SpanId {
+        (**self).span_begin(track, name, t_us, attrs)
+    }
+    fn span_end(&self, span: SpanId, t_us: u64) {
+        (**self).span_end(span, t_us)
+    }
+    fn span_attr(&self, span: SpanId, key: &'static str, value: AttrValue) {
+        (**self).span_attr(span, key, value)
+    }
+    fn as_sync(&self) -> Option<&(dyn Recorder + Sync)> {
+        (**self).as_sync()
+    }
 }
 
 /// Recorder that records nothing. The canonical "observability off"
@@ -233,7 +284,11 @@ impl<R: Recorder + ?Sized> Recorder for std::rc::Rc<R> {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoopRecorder;
 
-impl Recorder for NoopRecorder {}
+impl Recorder for NoopRecorder {
+    fn as_sync(&self) -> Option<&(dyn Recorder + Sync)> {
+        Some(self)
+    }
+}
 
 /// A recorded instantaneous event.
 #[derive(Clone, Debug)]

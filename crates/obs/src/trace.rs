@@ -12,9 +12,12 @@
 //! Everything lives in a single process (`pid` 0, named after the
 //! simulation) so the timeline reads as one VM per lane.
 
+use std::collections::BTreeMap;
+
 use serde_json::{json, Value};
 
-use crate::recorder::{AttrValue, MemRecorder};
+use crate::recorder::{AttrValue, EventRecord, MemRecorder, SpanRecord};
+use crate::sharded::ShardedRecorder;
 
 fn attr_value_json(v: &AttrValue) -> Value {
     match v {
@@ -42,6 +45,33 @@ fn args_json(attrs: &[(&'static str, AttrValue)]) -> Value {
 /// zero-duration events flagged with `"unterminated": true` rather than
 /// dropped, so partial traces remain inspectable.
 pub fn chrome_trace(rec: &MemRecorder) -> Value {
+    chrome_trace_parts(
+        &rec.spans(),
+        &rec.events(),
+        &rec.track_names(),
+        &rec.counter_series(),
+    )
+}
+
+/// Same as [`chrome_trace`] for a thread-safe [`ShardedRecorder`]: the
+/// shards are merged deterministically first.
+pub fn chrome_trace_sharded(rec: &ShardedRecorder) -> Value {
+    let merged = rec.merged();
+    chrome_trace_parts(
+        &merged.spans,
+        &merged.events,
+        &merged.track_names,
+        &merged.counter_series,
+    )
+}
+
+/// Build the trace document from raw recorder buffers.
+pub fn chrome_trace_parts(
+    spans: &[SpanRecord],
+    instants: &[EventRecord],
+    track_names: &BTreeMap<u64, String>,
+    counter_series: &BTreeMap<&'static str, Vec<(u64, f64)>>,
+) -> Value {
     let mut events: Vec<Value> = Vec::new();
 
     events.push(json!({
@@ -52,7 +82,7 @@ pub fn chrome_trace(rec: &MemRecorder) -> Value {
         "args": {"name": "affinity-vc simulation"},
     }));
 
-    for (tid, name) in rec.track_names() {
+    for (tid, name) in track_names {
         events.push(json!({
             "ph": "M",
             "name": "thread_name",
@@ -62,7 +92,7 @@ pub fn chrome_trace(rec: &MemRecorder) -> Value {
         }));
     }
 
-    for span in rec.spans() {
+    for span in spans {
         let (dur, unterminated) = match span.end_us {
             Some(end) => (end.saturating_sub(span.start_us), false),
             None => (0, true),
@@ -84,7 +114,7 @@ pub fn chrome_trace(rec: &MemRecorder) -> Value {
         }));
     }
 
-    for event in rec.events() {
+    for event in instants {
         let tid = event.track.map(|t| t.0).unwrap_or(0);
         let scope = if event.track.is_some() { "t" } else { "g" };
         events.push(json!({
@@ -98,8 +128,8 @@ pub fn chrome_trace(rec: &MemRecorder) -> Value {
         }));
     }
 
-    for (name, series) in rec.counter_series() {
-        for (t_us, value) in series {
+    for (name, series) in counter_series {
+        for &(t_us, value) in series {
             events.push(json!({
                 "ph": "C",
                 "name": name,
@@ -119,10 +149,14 @@ pub fn chrome_trace(rec: &MemRecorder) -> Value {
 
 /// Serialise the trace and write it to `path`.
 pub fn save_chrome_trace(rec: &MemRecorder, path: &str) -> std::io::Result<()> {
-    let doc = chrome_trace(rec);
+    save_trace_value(&chrome_trace(rec), path)
+}
+
+/// Write an already-built trace document to `path`.
+pub fn save_trace_value(doc: &Value, path: &str) -> std::io::Result<()> {
     std::fs::write(
         path,
-        serde_json::to_string_pretty(&doc).expect("trace serializes"),
+        serde_json::to_string_pretty(doc).expect("trace serializes"),
     )
 }
 

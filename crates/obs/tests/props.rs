@@ -3,7 +3,60 @@
 
 use proptest::prelude::*;
 use vc_obs::metrics::{bucket_index, bucket_lower_bound, Histogram, NUM_BUCKETS};
-use vc_obs::{MemRecorder, MetricsSnapshot, Recorder, TrackId};
+use vc_obs::{
+    AttrValue, EventRecord, MemRecorder, MetricsSnapshot, Recorder, ShardedRecorder, SpanRecord,
+    TrackId,
+};
+
+const CTR_NAMES: [&str; 4] = ["m.a", "m.b", "m.c", "m.d"];
+const EVT_NAMES: [&str; 3] = ["ev.x", "ev.y", "ev.z"];
+
+/// One recorder operation: `(worker, kind, a, b)`. The worker index picks
+/// which thread replays the op on the sharded side; `kind` selects among
+/// counter / histogram / event / span / track-name; `a` and `b` feed
+/// names, timestamps and attribute payloads.
+type RecOp = (usize, usize, u64, u64);
+
+fn apply_ops(rec: &dyn Recorder, ops: &[RecOp]) {
+    for &(_, kind, a, b) in ops {
+        let track = TrackId(a % 3);
+        match kind {
+            0 => rec.counter_add(CTR_NAMES[(a % 4) as usize], b % 1000 + 1),
+            1 => rec.histogram_record(CTR_NAMES[(a % 4) as usize], b),
+            2 => rec.event(
+                EVT_NAMES[(a % 3) as usize],
+                b,
+                Some(track),
+                &[("v", AttrValue::from(a))],
+            ),
+            3 => {
+                let id = rec.span_begin(track, "work", b, &[("v", AttrValue::from(a))]);
+                rec.span_end(id, b + a % 100);
+            }
+            _ => rec.track_name(track, &format!("track-{}", a % 3)),
+        }
+    }
+}
+
+/// Identity-free span key: everything but the recorder-assigned `SpanId`.
+fn span_key(s: &SpanRecord) -> (u64, &'static str, u64, Option<u64>, String) {
+    (
+        s.track.0,
+        s.name,
+        s.start_us,
+        s.end_us,
+        format!("{:?}", s.attrs),
+    )
+}
+
+fn event_key(e: &EventRecord) -> (&'static str, u64, Option<u64>, String) {
+    (
+        e.name,
+        e.t_us,
+        e.track.map(|t| t.0),
+        format!("{:?}", e.attrs),
+    )
+}
 
 proptest! {
     /// Bucket assignment is monotone non-decreasing in the sample value,
@@ -88,5 +141,49 @@ proptest! {
             let end = s.end_us.expect("all spans closed");
             prop_assert!(end >= s.start_us);
         }
+    }
+
+    /// A [`ShardedRecorder`] flushed from four worker threads records the
+    /// same trace as a single-threaded [`MemRecorder`] replaying the same
+    /// operations, modulo ordering: identical metrics snapshot, track
+    /// names, and span/event multisets (span ids excluded — they are
+    /// allocation order, not content).
+    #[test]
+    fn sharded_matches_mem_modulo_order(
+        ops in proptest::collection::vec(
+            (0usize..4, 0usize..5, any::<u64>(), 0u64..10_000),
+            0..80,
+        )
+    ) {
+        let mem = MemRecorder::new();
+        apply_ops(&mem, &ops);
+
+        let sharded = ShardedRecorder::new();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let chunk: Vec<RecOp> =
+                    ops.iter().filter(|op| op.0 == worker).copied().collect();
+                let rec = &sharded;
+                scope.spawn(move || apply_ops(rec, &chunk));
+            }
+        });
+        let merged = sharded.merged();
+
+        prop_assert_eq!(merged.open_spans, 0);
+        prop_assert_eq!(mem.open_span_count(), 0);
+        prop_assert_eq!(mem.metrics(), merged.metrics);
+        prop_assert_eq!(mem.track_names(), merged.track_names);
+
+        let mut mem_spans: Vec<_> = mem.spans().iter().map(span_key).collect();
+        let mut sh_spans: Vec<_> = merged.spans.iter().map(span_key).collect();
+        mem_spans.sort();
+        sh_spans.sort();
+        prop_assert_eq!(mem_spans, sh_spans);
+
+        let mut mem_events: Vec<_> = mem.events().iter().map(event_key).collect();
+        let mut sh_events: Vec<_> = merged.events.iter().map(event_key).collect();
+        mem_events.sort();
+        sh_events.sort();
+        prop_assert_eq!(mem_events, sh_events);
     }
 }

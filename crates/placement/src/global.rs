@@ -129,9 +129,11 @@ pub fn place_queue_with(
 }
 
 /// [`place_queue`] with observability: per-request placement events (with
-/// chosen centre and `DC(C)`), the `placement.dc` histogram, seed-scan
-/// pruning counters, and the Theorem-2 exchange-pass counters land on
-/// `rec`, timestamped `t_us`.
+/// chosen centre and `DC(C)`), per-request scan audits and per-worker
+/// chunk events (via [`online::place_recorded`]), the `placement.dc`
+/// histogram, seed-scan counters including aborts, the Theorem-2
+/// exchange-pass counters, and a per-batch `placement.exchange_audit`
+/// event all land on `rec`, timestamped `t_us`.
 pub fn place_queue_recorded(
     queue: &[Request],
     state: &ClusterState,
@@ -141,7 +143,8 @@ pub fn place_queue_recorded(
     t_us: u64,
 ) -> Result<QueuePlacement, PlacementError> {
     place_queue_impl(queue, state, admission, rec, t_us, &|request, working| {
-        online::place_with(request, working, scan)
+        online::place_recorded(request, working, scan, rec, t_us)
+            .map(|(allocation, audit)| (allocation, audit.stats))
     })
 }
 
@@ -165,13 +168,11 @@ fn place_queue_impl(
     let mut rejected = decision.rejected;
     let mut working = state.clone();
     let mut served = Vec::with_capacity(decision.admitted.len());
-    let mut scan_totals = ScanStats::default();
     for &idx in &decision.admitted {
         match solver(&queue[idx], &working) {
-            Ok((allocation, stats)) => {
-                scan_totals.seeds_scanned += stats.seeds_scanned;
-                scan_totals.seeds_pruned += stats.seeds_pruned;
-                scan_totals.seeds_aborted += stats.seeds_aborted;
+            // Seed-scan counters (scanned / pruned / aborted) are emitted
+            // by the solver itself — see `online::place_recorded`.
+            Ok((allocation, _stats)) => {
                 // A broken solver must not take the whole run down: record
                 // the failure and defer the request (it stays queued).
                 match working.allocate(&allocation) {
@@ -199,8 +200,6 @@ fn place_queue_impl(
         }
     }
     rejected.sort_unstable();
-    rec.counter_add("placement.seeds_scanned", scan_totals.seeds_scanned);
-    rec.counter_add("placement.seeds_pruned", scan_totals.seeds_pruned);
 
     let topo = state.topology();
     let served_online_distances: Vec<u64> = served
@@ -215,7 +214,7 @@ fn place_queue_impl(
     rec.counter_add("placement.exchange_saved", exchanges.saved);
     rec.counter_add("placement.exchange_passes", exchanges.passes);
 
-    let optimized_distance = served
+    let optimized_distance: u64 = served
         .iter()
         .map(|(_, a)| {
             let d = distance_with_center(a.matrix(), topo, a.center());
@@ -223,6 +222,21 @@ fn place_queue_impl(
             d
         })
         .sum();
+    if rec.enabled() && !served.is_empty() {
+        rec.event(
+            "placement.exchange_audit",
+            t_us,
+            None,
+            &[
+                ("batch_size", AttrValue::from(served.len() as u64)),
+                ("passes", AttrValue::from(exchanges.passes)),
+                ("swaps", AttrValue::from(exchanges.swaps)),
+                ("saved", AttrValue::from(exchanges.saved)),
+                ("online_distance", AttrValue::from(online_distance)),
+                ("optimized_distance", AttrValue::from(optimized_distance)),
+            ],
+        );
+    }
     for (idx, a) in &served {
         rec.event(
             "placement.request_placed",
@@ -665,6 +679,77 @@ mod tests {
             .iter()
             .all(|e| e.attrs.iter().any(|(k, _)| *k == "center")
                 && e.attrs.iter().any(|(k, _)| *k == "dc")));
+    }
+
+    /// Acceptance check for the sharded recorder: a parallel-scan queue
+    /// run recorded through a `ShardedRecorder` produces the same set of
+    /// placement events and counters as a single-threaded run on a
+    /// `MemRecorder` — order-insensitive. Pruning is disabled so the
+    /// scanned/pruned/aborted split is deterministic regardless of
+    /// cross-thread timing; per-worker `placement.scan_chunk` events and
+    /// the `workers` attribute of scan audits are the only intentional
+    /// differences, so they are excluded from the comparison.
+    #[test]
+    fn sharded_parallel_queue_matches_sequential_mem() {
+        use vc_obs::{MemRecorder, ShardedRecorder};
+        // Capacity-1 nodes so every request spans nodes (no distance-0
+        // fast path) and the seed scan actually runs.
+        let s = state(&vec![vec![1, 1, 1]; 6], &[3, 3]);
+        let queue = vec![
+            Request::from_counts(vec![2, 1, 0]),
+            Request::from_counts(vec![1, 1, 1]),
+            Request::from_counts(vec![0, 2, 1]),
+        ];
+        let unpruned = |parallelism| ScanConfig {
+            prune: false,
+            parallelism,
+        };
+
+        let mem = MemRecorder::new();
+        let seq = place_queue_recorded(
+            &queue,
+            &s,
+            Admission::FifoBlocking,
+            unpruned(crate::online::Parallelism::Sequential),
+            &mem,
+            7,
+        )
+        .unwrap();
+
+        let sharded = ShardedRecorder::new();
+        let par = place_queue_recorded(
+            &queue,
+            &s,
+            Admission::FifoBlocking,
+            unpruned(crate::online::Parallelism::Threads(3)),
+            &sharded,
+            7,
+        )
+        .unwrap();
+        let merged = sharded.merged();
+
+        assert_eq!(seq.optimized_distance, par.optimized_distance);
+        assert_eq!(mem.metrics(), merged.metrics);
+
+        // Event sets match once worker-granularity artifacts are removed:
+        // chunk events entirely, and the `workers` attr of scan audits.
+        let canonical = |events: &[vc_obs::EventRecord]| -> Vec<String> {
+            let mut keys: Vec<String> = events
+                .iter()
+                .filter(|e| e.name != "placement.scan_chunk")
+                .map(|e| {
+                    let attrs: Vec<_> = e.attrs.iter().filter(|(k, _)| *k != "workers").collect();
+                    format!("{} @{} {:?}", e.name, e.t_us, attrs)
+                })
+                .collect();
+            keys.sort();
+            keys
+        };
+        assert_eq!(canonical(&mem.events()), canonical(&merged.events));
+        assert!(merged
+            .events
+            .iter()
+            .any(|e| e.name == "placement.scan_chunk"));
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::policy::{check_admissible, PlacementError, PlacementPolicy};
 use std::cmp::Reverse;
 use std::sync::atomic::{AtomicU64, Ordering};
 use vc_model::{Allocation, ClusterState, PlacementIndex, Request, ResourceMatrix, VmTypeId};
+use vc_obs::{AttrValue, NoopRecorder, Recorder};
 use vc_topology::{NodeId, Topology};
 
 /// Worker-count knob for the seed scan.
@@ -139,6 +140,10 @@ pub struct ScanStats {
     pub seeds_pruned: u64,
     /// Seeds whose fill was cut off once it could no longer win.
     pub seeds_aborted: u64,
+    /// Fully evaluated seeds that tied the incumbent distance and lost the
+    /// lower-id tie-break (a subset of `seeds_scanned`). With pruning on,
+    /// most ties are cut mid-fill and show up as `seeds_aborted` instead.
+    pub seeds_tied: u64,
     /// Whether a single node covered the whole request (no seed scan ran).
     pub fast_path: bool,
 }
@@ -149,6 +154,94 @@ impl ScanStats {
         self.seeds_scanned += other.seeds_scanned;
         self.seeds_pruned += other.seeds_pruned;
         self.seeds_aborted += other.seeds_aborted;
+        self.seeds_tied += other.seeds_tied;
+    }
+}
+
+/// Everything worth knowing about one placement decision — the
+/// [`ScanStats`] plus the outcome (chosen central node, its seed-centred
+/// distance) and the pruning context (global lower bound, worker count).
+/// Emitted as a `placement.scan_audit` event by [`place_recorded`] and
+/// surfaced by `vc report`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanAudit {
+    /// Scan work breakdown (scanned / pruned / aborted / tied).
+    pub stats: ScanStats,
+    /// The winning seed — the virtual cluster's central node.
+    pub center: NodeId,
+    /// Seed-centred distance of the winning allocation.
+    pub distance: u64,
+    /// `min` over all seeds of the admissible lower bound (0 when pruning
+    /// was off or the fast path fired).
+    pub lower_bound: u64,
+    /// Scan workers actually used (1 = sequential or fast path).
+    pub workers: u64,
+}
+
+impl ScanAudit {
+    /// How far the chosen allocation sits above the admissible global
+    /// lower bound. 0 means the scan proved the result optimal *for this
+    /// seed-greedy family*; larger gaps flag requests worth exchanging.
+    pub fn bound_gap(&self) -> u64 {
+        self.distance.saturating_sub(self.lower_bound)
+    }
+
+    /// JSON object mirroring the `placement.scan_audit` event attributes.
+    pub fn to_json(&self) -> serde::Value {
+        use serde::Value;
+        Value::Object(vec![
+            ("center".to_string(), Value::U64(self.center.0 as u64)),
+            ("dc".to_string(), Value::U64(self.distance)),
+            ("lower_bound".to_string(), Value::U64(self.lower_bound)),
+            ("bound_gap".to_string(), Value::U64(self.bound_gap())),
+            ("workers".to_string(), Value::U64(self.workers)),
+            (
+                "seeds_total".to_string(),
+                Value::U64(self.stats.seeds_total),
+            ),
+            (
+                "seeds_scanned".to_string(),
+                Value::U64(self.stats.seeds_scanned),
+            ),
+            (
+                "seeds_pruned".to_string(),
+                Value::U64(self.stats.seeds_pruned),
+            ),
+            (
+                "seeds_aborted".to_string(),
+                Value::U64(self.stats.seeds_aborted),
+            ),
+            ("seeds_tied".to_string(), Value::U64(self.stats.seeds_tied)),
+            ("fast_path".to_string(), Value::Bool(self.stats.fast_path)),
+        ])
+    }
+
+    /// Emit this audit through `rec` as a `placement.scan_audit` event.
+    fn emit(&self, rec: &dyn Recorder, t_us: u64) {
+        rec.counter_add("placement.seeds_scanned", self.stats.seeds_scanned);
+        rec.counter_add("placement.seeds_pruned", self.stats.seeds_pruned);
+        rec.counter_add("placement.seeds_aborted", self.stats.seeds_aborted);
+        if !rec.enabled() {
+            return;
+        }
+        rec.event(
+            "placement.scan_audit",
+            t_us,
+            None,
+            &[
+                ("center", AttrValue::from(self.center.0 as u64)),
+                ("dc", AttrValue::from(self.distance)),
+                ("lower_bound", AttrValue::from(self.lower_bound)),
+                ("bound_gap", AttrValue::from(self.bound_gap())),
+                ("workers", AttrValue::from(self.workers)),
+                ("seeds_total", AttrValue::from(self.stats.seeds_total)),
+                ("seeds_scanned", AttrValue::from(self.stats.seeds_scanned)),
+                ("seeds_pruned", AttrValue::from(self.stats.seeds_pruned)),
+                ("seeds_aborted", AttrValue::from(self.stats.seeds_aborted)),
+                ("seeds_tied", AttrValue::from(self.stats.seeds_tied)),
+                ("fast_path", AttrValue::Bool(self.stats.fast_path)),
+            ],
+        );
     }
 }
 
@@ -183,6 +276,33 @@ pub fn place_with(
     state: &ClusterState,
     config: ScanConfig,
 ) -> Result<(Allocation, ScanStats), PlacementError> {
+    place_recorded(request, state, config, &NoopRecorder, 0)
+        .map(|(allocation, audit)| (allocation, audit.stats))
+}
+
+/// [`place_with`] plus a decision audit, emitting placement telemetry
+/// through `rec` as it runs:
+///
+/// * `placement.seeds_scanned` / `.seeds_pruned` / `.seeds_aborted`
+///   counters (request totals, deterministic sums);
+/// * one `placement.scan_chunk` event per scan worker, recorded *by that
+///   worker's thread* when the recorder is thread-safe
+///   ([`Recorder::as_sync`]), so pruning/bound telemetry lands per thread;
+/// * one `placement.scan_audit` event per request (see [`ScanAudit`]).
+///
+/// When the scan is parallel but `rec` is not thread-safe, telemetry is
+/// aggregated on the calling thread instead and a one-time
+/// `placement.recorder_unsync` counter + stderr warning flags the lost
+/// granularity — nothing is silently dropped.
+///
+/// `t_us` stamps the emitted events (simulation time of the decision).
+pub fn place_recorded(
+    request: &Request,
+    state: &ClusterState,
+    config: ScanConfig,
+    rec: &dyn Recorder,
+    t_us: u64,
+) -> Result<(Allocation, ScanAudit), PlacementError> {
     check_admissible(request, state)?;
     let topo = state.topology();
     let remaining = state.remaining();
@@ -203,7 +323,15 @@ pub fn place_with(
                 fast_path: true,
                 ..ScanStats::default()
             };
-            return Ok((Allocation::new(matrix, i), stats));
+            let audit = ScanAudit {
+                stats,
+                center: i,
+                distance: 0,
+                lower_bound: 0,
+                workers: 1,
+            };
+            audit.emit(rec, t_us);
+            return Ok((Allocation::new(matrix, i), audit));
         }
     }
 
@@ -232,8 +360,15 @@ pub fn place_with(
     let workers = config.parallelism.workers(n);
     let shared_best = AtomicU64::new(u64::MAX);
     let (best, stats) = if workers <= 1 {
-        scan_range(&ctx, 0, n, &shared_best)
+        scan_range(&ctx, 0, n, &shared_best, Some(rec), t_us, 0)
     } else {
+        // Scan threads need a `Sync` view of the recorder to record from
+        // their own threads; without one, telemetry degrades gracefully to
+        // calling-thread aggregation (flagged once, never dropped).
+        let sync_rec = rec.as_sync();
+        if sync_rec.is_none() && rec.enabled() {
+            warn_recorder_unsync(rec);
+        }
         let chunk = n.div_ceil(workers);
         let results: Vec<(Option<SeedResult>, ScanStats)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -242,7 +377,7 @@ pub fn place_with(
                     let shared = &shared_best;
                     let lo = (w * chunk).min(n);
                     let hi = ((w + 1) * chunk).min(n);
-                    scope.spawn(move || scan_range(ctx, lo, hi, shared))
+                    scope.spawn(move || scan_range(ctx, lo, hi, shared, sync_rec, t_us, w))
                 })
                 .collect();
             handles
@@ -257,11 +392,11 @@ pub fn place_with(
             if let Some(c) = candidate {
                 // Lexicographic (distance, seed id) — identical to the
                 // sequential incumbent rule.
-                if best
-                    .as_ref()
-                    .is_none_or(|b| (c.distance, c.seed) < (b.distance, b.seed))
-                {
-                    best = Some(c);
+                match best.as_ref() {
+                    Some(b) if c.distance == b.distance => stats.seeds_tied += 1,
+                    Some(b) if (c.distance, c.seed) < (b.distance, b.seed) => best = Some(c),
+                    Some(_) => {}
+                    None => best = Some(c),
                 }
             }
         }
@@ -277,7 +412,30 @@ pub fn place_with(
     for &(node, ty, count) in &win.takes {
         matrix.set(node, VmTypeId::from_index(ty as usize), count);
     }
-    Ok((Allocation::new(matrix, win.seed), stats))
+    let audit = ScanAudit {
+        stats,
+        center: win.seed,
+        distance: win.distance,
+        lower_bound: global_min_lb,
+        workers: workers as u64,
+    };
+    audit.emit(rec, t_us);
+    Ok((Allocation::new(matrix, win.seed), audit))
+}
+
+/// One-time notice (satellite of the audit work): a parallel scan was
+/// asked to record through a recorder without a `Sync` view, so per-thread
+/// chunk events are unavailable and totals are aggregated after the join.
+fn warn_recorder_unsync(rec: &dyn Recorder) {
+    rec.counter_add("placement.recorder_unsync", 1);
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "vc-placement: parallel seed scan with a recorder that has no thread-safe view; \
+             per-worker scan_chunk events are skipped and totals are aggregated on the \
+             calling thread (use vc_obs::ShardedRecorder to keep per-thread telemetry)"
+        );
+    });
 }
 
 /// Shared read-only inputs for one scan.
@@ -362,11 +520,19 @@ fn seed_lower_bound(
 /// distance found by *any* chunk; pruning against it uses strictly-greater
 /// comparisons so ties (which break by seed id in the final reduce) are
 /// never discarded.
-fn scan_range(
+///
+/// When `rec` is present a `placement.scan_chunk` event is recorded *from
+/// this thread* as the chunk finishes — generic over `R` so the enabled
+/// check and the event construction monomorphize away for
+/// [`NoopRecorder`].
+fn scan_range<R: Recorder + ?Sized>(
     ctx: &ScanCtx<'_>,
     lo: usize,
     hi: usize,
     shared_best: &AtomicU64,
+    rec: Option<&R>,
+    t_us: u64,
+    worker: usize,
 ) -> (Option<SeedResult>, ScanStats) {
     let m = ctx.request.len();
     let mut stats = ScanStats {
@@ -417,9 +583,29 @@ fn scan_range(
                         seed,
                         takes: takes.clone(),
                     });
+                } else if distance == local_best_d {
+                    stats.seeds_tied += 1;
                 }
             }
             None => stats.seeds_aborted += 1,
+        }
+    }
+    if let Some(rec) = rec {
+        if rec.enabled() {
+            rec.event(
+                "placement.scan_chunk",
+                t_us,
+                None,
+                &[
+                    ("worker", AttrValue::from(worker as u64)),
+                    ("lo", AttrValue::from(lo as u64)),
+                    ("hi", AttrValue::from(hi as u64)),
+                    ("seeds_scanned", AttrValue::from(stats.seeds_scanned)),
+                    ("seeds_pruned", AttrValue::from(stats.seeds_pruned)),
+                    ("seeds_aborted", AttrValue::from(stats.seeds_aborted)),
+                    ("seeds_tied", AttrValue::from(stats.seeds_tied)),
+                ],
+            );
         }
     }
     (best, stats)
@@ -562,6 +748,18 @@ impl PlacementPolicy for OnlineHeuristic {
     ) -> Result<Allocation, PlacementError> {
         place(request, state)
     }
+
+    fn place_recorded(
+        &self,
+        request: &Request,
+        state: &ClusterState,
+        _rng: &mut dyn rand::RngCore,
+        rec: &dyn Recorder,
+        t_us: u64,
+    ) -> Result<Allocation, PlacementError> {
+        place_recorded(request, state, ScanConfig::default(), rec, t_us)
+            .map(|(allocation, _)| allocation)
+    }
 }
 
 /// [`PlacementPolicy`] wrapper around [`place_with`] carrying an explicit
@@ -582,6 +780,17 @@ impl PlacementPolicy for OnlineScan {
         _rng: &mut dyn rand::RngCore,
     ) -> Result<Allocation, PlacementError> {
         place_with(request, state, self.0).map(|(allocation, _)| allocation)
+    }
+
+    fn place_recorded(
+        &self,
+        request: &Request,
+        state: &ClusterState,
+        _rng: &mut dyn rand::RngCore,
+        rec: &dyn Recorder,
+        t_us: u64,
+    ) -> Result<Allocation, PlacementError> {
+        place_recorded(request, state, self.0, rec, t_us).map(|(allocation, _)| allocation)
     }
 }
 

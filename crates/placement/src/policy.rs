@@ -102,6 +102,22 @@ pub trait PlacementPolicy {
         state: &ClusterState,
         rng: &mut dyn rand::RngCore,
     ) -> Result<Allocation, PlacementError>;
+
+    /// [`place`](Self::place) with an observability hook: policies that
+    /// produce decision telemetry (seed-scan counters, audits) emit it
+    /// through `rec`, stamping events with simulation time `t_us`. The
+    /// default ignores the recorder, so baselines stay untouched.
+    fn place_recorded(
+        &self,
+        request: &Request,
+        state: &ClusterState,
+        rng: &mut dyn rand::RngCore,
+        rec: &dyn vc_obs::Recorder,
+        t_us: u64,
+    ) -> Result<Allocation, PlacementError> {
+        let _ = (rec, t_us);
+        self.place(request, state, rng)
+    }
 }
 
 #[cfg(test)]
