@@ -4,6 +4,12 @@
 //! affinity effect: compact clusters barely notice, spread clusters
 //! collapse — the paper's core motivation ("bandwidth is limited and the
 //! cost is very high") made quantitative.
+//!
+//! The second table re-reads the same runs through the link telemetry:
+//! exact bytes each cluster pushed through rack uplinks and the peak
+//! instantaneous uplink utilization. Runtime collapse lines up with the
+//! uplink pressure — the compact cluster keeps both near zero at every
+//! squeeze level, which is *why* its runtime column is flat.
 
 use vc_bench::scenarios;
 use vc_mapreduce::engine::SimParams;
@@ -20,6 +26,7 @@ fn main() {
     let clusters = scenarios::fig7_clusters();
 
     let mut rows = Vec::new();
+    let mut net_rows = Vec::new();
     let mut series = Vec::new();
     for &uplink in &uplinks {
         let params = SimParams {
@@ -29,12 +36,27 @@ fn main() {
             },
             ..SimParams::default()
         };
-        let runtimes: Vec<f64> = clusters
+        let metrics: Vec<_> = clusters
             .iter()
-            .map(|(_, c)| simulate_job(c, &job, &params).runtime.as_secs_f64())
+            .map(|(_, c)| simulate_job(c, &job, &params))
+            .collect();
+        let runtimes: Vec<f64> = metrics.iter().map(|m| m.runtime.as_secs_f64()).collect();
+        let cross_mb: Vec<f64> = metrics
+            .iter()
+            .map(|m| m.rack_uplink_bytes as f64 / 1e6)
+            .collect();
+        let peak_util: Vec<f64> = metrics
+            .iter()
+            .map(|m| m.peak_rack_uplink_utilization)
             .collect();
         let ratio = runtimes.last().unwrap() / runtimes.first().unwrap();
-        series.push((uplink, runtimes.clone(), ratio));
+        series.push((
+            uplink,
+            runtimes.clone(),
+            ratio,
+            cross_mb.clone(),
+            peak_util.clone(),
+        ));
         rows.push(vec![
             format!("{uplink:.0} MB/s"),
             format!("{:.1}", runtimes[0]),
@@ -43,6 +65,11 @@ fn main() {
             format!("{:.1}", runtimes[3]),
             format!("{ratio:.2}x"),
         ]);
+        let mut net_row = vec![format!("{uplink:.0} MB/s")];
+        for i in 0..clusters.len() {
+            net_row.push(format!("{:.0} MB @ {:.2}", cross_mb[i], peak_util[i]));
+        }
+        net_rows.push(net_row);
     }
     vc_bench::table::print(
         "Ablation — TeraSort runtime (s) vs uplink squeeze (4 reducers)",
@@ -55,6 +82,11 @@ fn main() {
             "spread/compact",
         ],
         &rows,
+    );
+    vc_bench::table::print(
+        "Ablation — rack-uplink pressure (cross-rack MB @ peak uplink utilization)",
+        &["free uplink", "d=10", "d=14", "d=16", "d=20"],
+        &net_rows,
     );
     vc_bench::emit_json(
         "ablation_crosstraffic",

@@ -61,6 +61,22 @@ fn main() {
         );
         // Makespan-weighted critical-path split across every tenant job.
         let attr = attribution::aggregate_cell(&attribution::trace_attributions(&rec));
+        // Link telemetry across all tenants: exact bytes through rack
+        // uplinks (counters sum over jobs) and the worst instantaneous
+        // uplink utilization any tenant saw (gauge_max over jobs).
+        let snap = rec.metrics();
+        let uplink_bytes: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("net.link.rack") && k.ends_with(".up.bytes"))
+            .map(|(_, &v)| v)
+            .sum();
+        let peak_uplink: f64 = snap
+            .gauges
+            .iter()
+            .filter(|(k, _)| k.starts_with("net.link.rack") && k.ends_with(".up.peak_util"))
+            .map(|(_, &v)| v)
+            .fold(0.0, f64::max);
         let total_job_s: f64 = result
             .outcomes
             .iter()
@@ -81,6 +97,7 @@ fn main() {
             makespan.as_secs_f64(),
             result.mean_wait.as_secs_f64(),
             attr.clone(),
+            (uplink_bytes, peak_uplink),
         ));
         rows.push(vec![
             name.to_string(),
@@ -90,6 +107,8 @@ fn main() {
             format!("{:.0}", makespan.as_secs_f64()),
             format!("{:.1}", result.mean_wait.as_secs_f64()),
             attr,
+            format!("{:.0}", uplink_bytes as f64 / 1e6),
+            format!("{peak_uplink:.2}"),
         ]);
     }
     vc_bench::table::print(
@@ -102,6 +121,8 @@ fn main() {
             "makespan (s)",
             "mean wait (s)",
             "crit-path m/s/r/w",
+            "x-rack MB",
+            "peak uplink",
         ],
         &rows,
     );

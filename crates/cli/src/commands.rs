@@ -507,13 +507,210 @@ fn event_u64(e: &vc_obs::critical_path::DumpEvent, key: &str) -> u64 {
     e.attr(key).and_then(serde_json::Value::as_u64).unwrap_or(0)
 }
 
+/// One link's telemetry, reassembled from the `net.link.<name>.*`
+/// entries of a metrics snapshot. In queue runs the counters sum (and
+/// `peak_util` maxes) over every job that crossed the link.
+#[derive(Debug, Default)]
+struct LinkRow {
+    name: String,
+    bytes: u64,
+    shuffle_bytes: u64,
+    busy_us: u64,
+    binding_events: u64,
+    peak_util: f64,
+}
+
+/// Parse every `net.link.*` counter/gauge in a metrics snapshot back
+/// into per-link rows, keyed and sorted by link name.
+fn collect_link_rows(metrics: &serde_json::Value) -> Vec<LinkRow> {
+    use std::collections::BTreeMap;
+    let mut rows: BTreeMap<String, LinkRow> = BTreeMap::new();
+    fn row<'a>(rows: &'a mut BTreeMap<String, LinkRow>, link: &str) -> &'a mut LinkRow {
+        rows.entry(link.to_string()).or_insert_with(|| LinkRow {
+            name: link.to_string(),
+            ..LinkRow::default()
+        })
+    }
+    if let Some(counters) = metrics
+        .get("counters")
+        .and_then(serde_json::Value::as_object)
+    {
+        for (key, value) in counters {
+            let Some(rest) = key.strip_prefix("net.link.") else {
+                continue;
+            };
+            let v = value.as_u64().unwrap_or(0);
+            // `.shuffle_bytes` must be tested before `.bytes`: both are
+            // suffixes of the former.
+            if let Some(link) = rest.strip_suffix(".shuffle_bytes") {
+                row(&mut rows, link).shuffle_bytes = v;
+            } else if let Some(link) = rest.strip_suffix(".bytes") {
+                row(&mut rows, link).bytes = v;
+            } else if let Some(link) = rest.strip_suffix(".busy_us") {
+                row(&mut rows, link).busy_us = v;
+            } else if let Some(link) = rest.strip_suffix(".binding_events") {
+                row(&mut rows, link).binding_events = v;
+            }
+        }
+    }
+    if let Some(gauges) = metrics.get("gauges").and_then(serde_json::Value::as_object) {
+        for (key, value) in gauges {
+            if let Some(link) = key
+                .strip_prefix("net.link.")
+                .and_then(|rest| rest.strip_suffix(".peak_util"))
+            {
+                row(&mut rows, link).peak_util = value.as_f64().unwrap_or(0.0);
+            }
+        }
+    }
+    rows.into_values().collect()
+}
+
+/// The `--network` hot-spot summary: per-rack uplink peaks, top-K
+/// congested links, the shuffle-byte locality split, and the exactness
+/// cross-check between link-level and engine-level shuffle accounting.
+fn network_summary(metrics: &serde_json::Value) -> (serde_json::Value, String) {
+    let links = collect_link_rows(metrics);
+    let counter = |name: &str| -> u64 {
+        metrics
+            .get("counters")
+            .and_then(serde_json::Value::as_object)
+            .and_then(|entries| entries.iter().find(|(k, _)| k == name))
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or(0)
+    };
+
+    let uplinks: Vec<&LinkRow> = links
+        .iter()
+        .filter(|l| l.name.starts_with("rack") && l.name.ends_with(".up"))
+        .collect();
+    let uplink_peak = uplinks.iter().map(|l| l.peak_util).fold(0.0, f64::max);
+    let uplink_mean_peak = if uplinks.is_empty() {
+        0.0
+    } else {
+        uplinks.iter().map(|l| l.peak_util).sum::<f64>() / uplinks.len() as f64
+    };
+    let uplink_bytes: u64 = uplinks.iter().map(|l| l.bytes).sum();
+    let uplink_shuffle_bytes: u64 = uplinks.iter().map(|l| l.shuffle_bytes).sum();
+
+    let mut congested: Vec<&LinkRow> = links.iter().collect();
+    congested.sort_by(|a, b| {
+        b.peak_util
+            .total_cmp(&a.peak_util)
+            .then_with(|| b.bytes.cmp(&a.bytes))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    congested.truncate(5);
+
+    // Shuffle locality split as the engine counted it, fetch by fetch.
+    let node_local = counter("mr.shuffle.node_local_bytes");
+    let rack_local = counter("mr.shuffle.rack_local_bytes");
+    let cross_rack = counter("mr.shuffle.remote_bytes");
+
+    // Exactness cross-check: every cross-node shuffle byte enters its
+    // destination node exactly once, and node-local shuffle crosses no
+    // link at all, so the node-rx shuffle integrals must equal the
+    // engine's rack-local + cross-rack total *exactly* (both are integer
+    // byte counts attributed at flow completion, not rate integrals).
+    let link_rx_shuffle: u64 = links
+        .iter()
+        .filter(|l| l.name.starts_with("node") && l.name.ends_with(".rx"))
+        .map(|l| l.shuffle_bytes)
+        .sum();
+    let engine_cross_node = rack_local + cross_rack;
+    let matches = link_rx_shuffle == engine_cross_node;
+
+    let link_objs: Vec<serde_json::Value> = links
+        .iter()
+        .map(|l| {
+            serde_json::json!({
+                "link": l.name.as_str(),
+                "bytes": l.bytes,
+                "shuffle_bytes": l.shuffle_bytes,
+                "busy_us": l.busy_us,
+                "binding_events": l.binding_events,
+                "peak_util": l.peak_util,
+            })
+        })
+        .collect();
+    let congested_objs: Vec<serde_json::Value> = congested
+        .iter()
+        .map(|l| serde_json::json!({"link": l.name.as_str(), "peak_util": l.peak_util}))
+        .collect();
+    let json = serde_json::json!({
+        "links": link_objs,
+        "rack_uplinks": {
+            "count": uplinks.len() as u64,
+            "peak_util": uplink_peak,
+            "mean_peak_util": uplink_mean_peak,
+            "bytes": uplink_bytes,
+            "shuffle_bytes": uplink_shuffle_bytes,
+        },
+        "top_congested": congested_objs,
+        "shuffle_split": {
+            "node_local_bytes": node_local,
+            "rack_local_bytes": rack_local,
+            "cross_rack_bytes": cross_rack,
+        },
+        "consistency": {
+            "link_rx_shuffle_bytes": link_rx_shuffle,
+            "engine_cross_node_shuffle_bytes": engine_cross_node,
+            "shuffle_rx_matches_engine": matches,
+        },
+    });
+
+    let mut text = String::new();
+    text.push_str(&format!(
+        "\nnetwork — {} link(s) with traffic\n",
+        links.len()
+    ));
+    text.push_str(&format!(
+        "  rack uplinks ({}): peak util {:.2}, mean peak {:.2}, {} shuffle B of {} B total\n",
+        uplinks.len(),
+        uplink_peak,
+        uplink_mean_peak,
+        uplink_shuffle_bytes,
+        uplink_bytes,
+    ));
+    let total_shuffle = node_local + rack_local + cross_rack;
+    let cross_pct = if total_shuffle > 0 {
+        100.0 * cross_rack as f64 / total_shuffle as f64
+    } else {
+        0.0
+    };
+    text.push_str(&format!(
+        "  shuffle split: node-local {node_local} B / in-rack {rack_local} B / \
+         cross-rack {cross_rack} B ({cross_pct:.0}% cross-rack)\n"
+    ));
+    if !congested.is_empty() {
+        text.push_str("  top congested links:\n");
+        for l in &congested {
+            text.push_str(&format!(
+                "    {:<14} peak {:.2}  busy {:>8.3}s  {:>14} B  binding {}\n",
+                l.name,
+                l.peak_util,
+                l.busy_us as f64 / 1e6,
+                l.bytes,
+                l.binding_events,
+            ));
+        }
+    }
+    text.push_str(&format!(
+        "  consistency: link node-rx shuffle {} B {} engine cross-node shuffle {} B\n",
+        link_rx_shuffle,
+        if matches { "==" } else { "!=" },
+        engine_cross_node,
+    ));
+    (json, text)
+}
+
 /// `affinity-vc report` — analyse a trace written by `--trace-out`:
 /// per-job critical-path attribution (where did the makespan go), the
 /// placement decision audit (seed-scan work, bound gaps, Theorem-2
 /// exchanges), and optionally the headline placement counters from a
 /// `--metrics-out` snapshot.
 pub fn report(p: &Parsed) -> Result<String, ArgError> {
-    p.ensure_known(&["trace", "metrics", "json"])?;
+    p.ensure_known(&["trace", "metrics", "json", "network"])?;
     let trace_path = p.required("trace").map_err(|_| {
         ArgError::new("missing required option --trace <FILE> (a file written by --trace-out)")
     })?;
@@ -537,6 +734,15 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
         }
     };
 
+    let network = if p.switch("network") {
+        let metrics = metrics.as_ref().ok_or_else(|| {
+            ArgError::new("--network needs --metrics <FILE> (a snapshot written by --metrics-out)")
+        })?;
+        Some(network_summary(metrics))
+    } else {
+        None
+    };
+
     let scan_audits: Vec<&vc_obs::critical_path::DumpEvent> = dump
         .events
         .iter()
@@ -554,7 +760,7 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
             entries.extend(e.attrs.iter().cloned());
             serde_json::Value::Object(entries)
         };
-        let doc = serde_json::Value::Object(vec![
+        let mut entries = vec![
             (
                 "jobs".to_string(),
                 serde_json::Value::Array(
@@ -582,8 +788,11 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
                 "metrics".to_string(),
                 metrics.unwrap_or(serde_json::Value::Null),
             ),
-        ]);
-        return Ok(doc.to_string());
+        ];
+        if let Some((net_json, _)) = &network {
+            entries.push(("network".to_string(), net_json.clone()));
+        }
+        return Ok(serde_json::Value::Object(entries).to_string());
     }
 
     let mut out = String::new();
@@ -680,6 +889,9 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
                 }
             }
         }
+    }
+    if let Some((_, net_text)) = &network {
+        out.push_str(net_text);
     }
     Ok(out)
 }

@@ -102,6 +102,9 @@ OBSERVABILITY (simulate, simulate-job, simulate-queue):
 REPORT OPTIONS:
     --trace <FILE>         trace written by --trace-out (required)
     --metrics <FILE>       metrics JSON written by --metrics-out (optional)
+    --network              add the link-level hot-spot summary (needs --metrics):
+                           per-link bytes/peak-utilization, rack-uplink peaks,
+                           top congested links, shuffle locality split
     --json                 emit the full report as JSON
 "
     .to_string()
@@ -558,6 +561,94 @@ mod obs_cli_tests {
             v
         };
         assert_eq!(placed(&a), placed(&b));
+    }
+
+    #[test]
+    fn report_network_requires_metrics() {
+        let (tp, tps) = tmp("affinity_vc_net_nometrics_trace.json");
+        call(&[
+            "simulate",
+            "--requests",
+            "2",
+            "--maps",
+            "4",
+            "--trace-out",
+            &tps,
+        ])
+        .unwrap();
+        let err = call(&["report", "--trace", &tps, "--network"]).unwrap_err();
+        std::fs::remove_file(&tp).ok();
+        assert!(err.to_string().contains("--metrics"), "{err}");
+    }
+
+    #[test]
+    fn report_network_links_match_engine_shuffle_bytes() {
+        // Acceptance check: the per-link shuffle-byte integrals must
+        // equal the engine's own shuffle accounting EXACTLY — every
+        // cross-node shuffle byte enters its destination node once, and
+        // node-local shuffle crosses no link.
+        let (tp, tps) = tmp("affinity_vc_net_trace.json");
+        let (mp, mps) = tmp("affinity_vc_net_metrics.json");
+        call(&[
+            "simulate",
+            "--requests",
+            "4",
+            "--maps",
+            "6",
+            "--reducers",
+            "2",
+            "--trace-out",
+            &tps,
+            "--metrics-out",
+            &mps,
+        ])
+        .unwrap();
+        let metrics = read_json(&mp);
+        let out = call(&["report", "--trace", &tps, "--metrics", &mps, "--network"]).unwrap();
+        let json_out = call(&[
+            "report",
+            "--trace",
+            &tps,
+            "--metrics",
+            &mps,
+            "--network",
+            "--json",
+        ])
+        .unwrap();
+        std::fs::remove_file(&tp).ok();
+        std::fs::remove_file(&mp).ok();
+
+        assert!(out.contains("network —"), "{out}");
+        assert!(out.contains("rack uplinks"), "{out}");
+        assert!(out.contains("top congested links"), "{out}");
+
+        let v: Value = serde_json::from_str(&json_out).unwrap();
+        let consistency = &v["network"]["consistency"];
+        // Independent recomputation from the raw snapshot: Σ node-rx
+        // link shuffle bytes vs the engine's fetch-by-fetch counters.
+        let counters = metrics["counters"].as_object().unwrap();
+        let rx_sum: u64 = counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("net.link.node") && k.ends_with(".rx.shuffle_bytes"))
+            .map(|(_, v)| v.as_u64().unwrap())
+            .sum();
+        let engine: u64 = counters
+            .iter()
+            .filter(|(k, _)| k == "mr.shuffle.rack_local_bytes" || k == "mr.shuffle.remote_bytes")
+            .map(|(_, v)| v.as_u64().unwrap())
+            .sum();
+        assert!(rx_sum > 0, "expected cross-node shuffle traffic");
+        assert_eq!(rx_sum, engine, "link vs engine shuffle bytes diverge");
+        assert_eq!(consistency["link_rx_shuffle_bytes"].as_u64(), Some(rx_sum));
+        assert_eq!(
+            consistency["shuffle_rx_matches_engine"],
+            Value::Bool(true),
+            "{json_out}"
+        );
+        // Hot-spot summary fields present and sane.
+        let uplinks = &v["network"]["rack_uplinks"];
+        assert!(uplinks["peak_util"].as_f64().unwrap() >= 0.0);
+        assert!(!v["network"]["top_congested"].as_array().unwrap().is_empty());
     }
 
     #[test]

@@ -24,11 +24,30 @@ use crate::metrics::{JobMetrics, Locality};
 use crate::scheduler::{MapScheduler, SchedulerPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
 use vc_des::{Engine, EventKind, SimTime};
-use vc_netsim::{FlowNet, NetworkParams};
+use vc_netsim::{Bottleneck, FlowClass, FlowNet, LinkClass, NetworkParams};
 use vc_obs::{AttrValue, NoopRecorder, Recorder, SpanId, TrackId};
 use vc_topology::NodeId;
+
+/// Intern a dynamically built metric name (per-link names depend on the
+/// topology) into the `&'static str` the [`Recorder`] API requires. Each
+/// unique name leaks once; the set is bounded by topology size.
+fn intern_metric_name(name: String) -> &'static str {
+    static NAMES: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let mut map = NAMES
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .expect("metric-name interner poisoned");
+    if let Some(&s) = map.get(&name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    map.insert(name, leaked);
+    leaked
+}
 
 /// Simulation inputs beyond the job itself.
 #[derive(Debug, Clone)]
@@ -153,6 +172,10 @@ struct ReduceTask {
     /// Contention-free duration of the most recently completed fetch,
     /// µs; attached to the shuffle span for critical-path attribution.
     last_fetch_ideal_us: u64,
+    /// Bottleneck link class of the most recently completed fetch
+    /// (`rack-up`, `node-rx`, `rate-cap`, …); attached to the shuffle
+    /// span so shuffle-network-wait can be decomposed by link class.
+    last_fetch_bottleneck: &'static str,
 }
 
 struct Sim<'a, R: Recorder> {
@@ -191,6 +214,10 @@ struct Sim<'a, R: Recorder> {
     maps_finished_at: SimTime,
     shuffle_finished_at: SimTime,
     outstanding_fetch_flows: u64,
+    /// Completed shuffle bytes keyed by the bottleneck that bound the
+    /// fetch (`rack-up`, `node-rx`, `rate-cap`, …) — the link-class
+    /// decomposition of shuffle network time.
+    shuffle_bottleneck_bytes: BTreeMap<&'static str, u64>,
 }
 
 /// Run one job on one virtual cluster and return its metrics.
@@ -275,6 +302,7 @@ fn simulate_job_with<R: Recorder>(
             commit_legs: 0,
             span: SpanId::NULL,
             last_fetch_ideal_us: 0,
+            last_fetch_bottleneck: "none",
         })
         .collect();
 
@@ -301,6 +329,11 @@ fn simulate_job_with<R: Recorder>(
         ],
     );
 
+    let mut net = FlowNet::new(cluster.topology_arc(), params.net);
+    // Time-series link samples are trace-only; the byte/busy/peak
+    // accumulators inside FlowNet run unconditionally, so recorded and
+    // unrecorded runs stay bit-identical.
+    net.set_sampling(rec.enabled());
     let mut sim = Sim {
         rec,
         track_base,
@@ -310,7 +343,7 @@ fn simulate_job_with<R: Recorder>(
         job,
         layout,
         engine: Engine::new(),
-        net: FlowNet::new(cluster.topology_arc(), params.net),
+        net,
         net_epoch: 0,
         flow_purposes: Vec::new(),
         maps,
@@ -331,6 +364,7 @@ fn simulate_job_with<R: Recorder>(
         maps_finished_at: SimTime::ZERO,
         shuffle_finished_at: SimTime::ZERO,
         outstanding_fetch_flows: 0,
+        shuffle_bottleneck_bytes: BTreeMap::new(),
     };
     sim.run()
 }
@@ -368,8 +402,13 @@ impl<R: Recorder> Sim<'_, R> {
                         continue; // stale wake-up; a newer one is scheduled
                     }
                     let completed = self.net.take_completed(now);
-                    for (_, token) in completed {
-                        let purpose = self.flow_purposes[token as usize];
+                    for done in completed {
+                        let purpose = self.flow_purposes[done.token as usize];
+                        if let FlowPurpose::Shuffle { reducer, .. } = purpose {
+                            let label = self.bottleneck_label(done.bottleneck);
+                            self.reducers[reducer as usize].last_fetch_bottleneck = label;
+                            *self.shuffle_bottleneck_bytes.entry(label).or_insert(0) += done.bytes;
+                        }
                         self.dispatch_flow(now, purpose);
                     }
                 }
@@ -402,6 +441,56 @@ impl<R: Recorder> Sim<'_, R> {
             .counter_add("mr.speculative_wins", u64::from(self.speculative_wins));
         self.rec
             .histogram_record("mr.job_runtime_us", runtime.as_micros());
+
+        // Link telemetry. The FlowNet accumulators are always on, so the
+        // derived JobMetrics fields below are identical with or without a
+        // recorder; only the metric export is skipped for Noop recorders
+        // (every call is a no-op there anyway).
+        let mut peak_rack_uplink_utilization = 0.0f64;
+        let mut rack_uplink_bytes = 0u64;
+        for (info, stats) in self.net.links().iter().zip(self.net.link_stats()) {
+            if info.class == LinkClass::RackUp {
+                if stats.peak_utilization > peak_rack_uplink_utilization {
+                    peak_rack_uplink_utilization = stats.peak_utilization;
+                }
+                rack_uplink_bytes += stats.completed_bytes();
+            }
+            if stats.completed_bytes() == 0 && stats.bytes_total == 0.0 {
+                continue; // idle link: keep the snapshot small
+            }
+            let base = format!("net.link.{}", info.name);
+            self.rec.counter_add(
+                intern_metric_name(format!("{base}.bytes")),
+                stats.bytes_total.round() as u64,
+            );
+            self.rec.counter_add(
+                intern_metric_name(format!("{base}.shuffle_bytes")),
+                stats.shuffle_bytes,
+            );
+            self.rec.counter_add(
+                intern_metric_name(format!("{base}.busy_us")),
+                stats.busy_us.round() as u64,
+            );
+            self.rec.counter_add(
+                intern_metric_name(format!("{base}.binding_events")),
+                stats.binding_events,
+            );
+            self.rec.gauge_max(
+                intern_metric_name(format!("{base}.peak_util")),
+                stats.peak_utilization,
+            );
+            self.rec.histogram_record(
+                intern_metric_name(format!("net.link.peak_util_pct.{}", info.class.label())),
+                (stats.peak_utilization * 100.0).round() as u64,
+            );
+        }
+        for (label, bytes) in &self.shuffle_bottleneck_bytes {
+            self.rec.counter_add(
+                intern_metric_name(format!("net.shuffle.bottleneck_bytes.{label}")),
+                *bytes,
+            );
+        }
+
         JobMetrics {
             runtime,
             cluster_distance: self.cluster.affinity_distance(),
@@ -417,11 +506,14 @@ impl<R: Recorder> Sim<'_, R> {
             shuffle_finished_at: self.shuffle_finished_at,
             speculative_attempts: self.speculative_attempts,
             speculative_wins: self.speculative_wins,
+            rack_uplink_bytes,
+            peak_rack_uplink_utilization,
         }
     }
 
-    /// After every event: bump the network epoch and schedule a wake-up at
-    /// the next predicted flow completion.
+    /// After every event: bump the network epoch, schedule a wake-up at
+    /// the next predicted flow completion, and forward any link
+    /// utilization samples to the recorder's counter tracks.
     fn resync_net(&mut self) {
         self.net_epoch += 1;
         if let Some(t) = self.net.next_event_time() {
@@ -433,12 +525,36 @@ impl<R: Recorder> Sim<'_, R> {
                 },
             );
         }
+        if self.rec.enabled() {
+            let samples = self.net.drain_link_samples();
+            for s in samples {
+                let name =
+                    intern_metric_name(format!("net.link.{}.util", self.net.links()[s.link].name));
+                self.rec
+                    .counter_sample(name, self.t0_us + s.t_us, s.utilization);
+            }
+        }
+    }
+
+    /// Human label for a completed flow's bottleneck attribution.
+    fn bottleneck_label(&self, b: Bottleneck) -> &'static str {
+        match b {
+            Bottleneck::Link(r) => self.net.links()[r].class.label(),
+            Bottleneck::RateCap => "rate-cap",
+            Bottleneck::Unconstrained => "none",
+        }
     }
 
     fn start_flow(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64, p: FlowPurpose) {
         let token = self.flow_purposes.len() as u64;
+        let class = match p {
+            FlowPurpose::MapRead { .. } => FlowClass::MapRead,
+            FlowPurpose::Shuffle { .. } => FlowClass::Shuffle,
+            FlowPurpose::OutputWrite { .. } => FlowClass::OutputWrite,
+        };
         self.flow_purposes.push(p);
-        self.net.start_flow(now, src, dst, bytes, token);
+        self.net
+            .start_flow_classed(now, src, dst, bytes, token, class);
     }
 
     fn dispatch_flow(&mut self, now: SimTime, purpose: FlowPurpose) {
@@ -763,6 +879,11 @@ impl<R: Recorder> Sim<'_, R> {
                     r.span,
                     "last_fetch_ideal_us",
                     AttrValue::from(r.last_fetch_ideal_us),
+                );
+                self.rec.span_attr(
+                    r.span,
+                    "last_fetch_bottleneck",
+                    AttrValue::Str(r.last_fetch_bottleneck),
                 );
             }
             self.rec.span_end(r.span, self.t(now));

@@ -57,6 +57,13 @@ pub struct JobMetrics {
     pub speculative_attempts: u32,
     /// Backup attempts that finished before the original.
     pub speculative_wins: u32,
+    /// Exact bytes (all traffic classes) the job pushed through rack
+    /// uplinks — the oversubscribed links the paper's placement
+    /// optimization tries to avoid.
+    pub rack_uplink_bytes: u64,
+    /// Peak instantaneous utilization observed on any rack uplink
+    /// (Σ flow rate / capacity ∈ [0, 1]).
+    pub peak_rack_uplink_utilization: f64,
 }
 
 impl JobMetrics {
@@ -124,6 +131,8 @@ mod tests {
             shuffle_finished_at: SimTime::from_secs(90),
             speculative_attempts: 0,
             speculative_wins: 0,
+            rack_uplink_bytes: 70,
+            peak_rack_uplink_utilization: 0.5,
         }
     }
 

@@ -3,6 +3,19 @@
 // Index-based loops mirror the textbook matrix formulations here.
 #![allow(clippy::needless_range_loop)]
 
+/// Per-flow outcome of a max-min fair allocation, including which
+/// resource froze (bottlenecked) each flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairShare {
+    /// Fair rate for each flow (MB/s); unconstrained flows get
+    /// [`f64::INFINITY`].
+    pub rates: Vec<f64>,
+    /// For each flow, the resource index whose progressive-filling round
+    /// froze it — the flow's *binding* (bottleneck) link. `None` for
+    /// unconstrained (empty-path) flows.
+    pub binding: Vec<Option<usize>>,
+}
+
 /// Compute the max-min fair rate for each flow.
 ///
 /// * `capacities[r]` — capacity of resource `r` (MB/s);
@@ -19,6 +32,18 @@
 /// Panics if a flow references an out-of-range resource or a capacity is
 /// negative/NaN.
 pub fn max_min_fair_share(capacities: &[f64], flow_resources: &[Vec<usize>]) -> Vec<f64> {
+    max_min_fair_share_detailed(capacities, flow_resources).rates
+}
+
+/// Like [`max_min_fair_share`], but also reports each flow's binding
+/// resource — the link whose saturation froze the flow's rate. The rates
+/// are bit-identical to the plain variant (it is a thin wrapper over
+/// this one).
+///
+/// # Panics
+/// Panics if a flow references an out-of-range resource or a capacity is
+/// negative/NaN.
+pub fn max_min_fair_share_detailed(capacities: &[f64], flow_resources: &[Vec<usize>]) -> FairShare {
     for &c in capacities {
         assert!(c.is_finite() && c >= 0.0, "invalid capacity {c}");
     }
@@ -31,6 +56,7 @@ pub fn max_min_fair_share(capacities: &[f64], flow_resources: &[Vec<usize>]) -> 
     }
 
     let mut rates = vec![f64::INFINITY; nf];
+    let mut binding: Vec<Option<usize>> = vec![None; nf];
     let mut frozen = vec![false; nf];
     let mut residual: Vec<f64> = capacities.to_vec();
     // Unconstrained flows stay at infinity.
@@ -61,12 +87,13 @@ pub fn max_min_fair_share(capacities: &[f64], flow_resources: &[Vec<usize>]) -> 
             }
         }
         let Some((r, share)) = bottleneck else {
-            return rates; // every flow frozen
+            return FairShare { rates, binding }; // every flow frozen
         };
         // Freeze all unfrozen flows through r at `share`.
         for f in 0..nf {
             if !frozen[f] && flow_resources[f].contains(&r) {
                 rates[f] = share;
+                binding[f] = Some(r);
                 frozen[f] = true;
                 for &res in &flow_resources[f] {
                     residual[res] -= share;
@@ -174,5 +201,113 @@ mod tests {
     fn zero_capacity_freezes_at_zero() {
         let rates = max_min_fair_share(&[0.0], &[vec![0]]);
         assert_close(rates[0], 0.0);
+    }
+
+    #[test]
+    fn detailed_reports_binding_resources() {
+        // Same fixture as classic_three_flow_example: f0/f1 bind on link 0,
+        // f2 binds on link 1.
+        let fs = max_min_fair_share_detailed(&[10.0, 30.0], &[vec![0], vec![0, 1], vec![1]]);
+        assert_eq!(fs.binding, vec![Some(0), Some(0), Some(1)]);
+        assert_close(fs.rates[0], 5.0);
+        assert_close(fs.rates[1], 5.0);
+        assert_close(fs.rates[2], 25.0);
+    }
+
+    #[test]
+    fn detailed_unconstrained_flow_has_no_binding() {
+        let fs = max_min_fair_share_detailed(&[10.0], &[vec![], vec![0]]);
+        assert_eq!(fs.binding, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn detailed_matches_plain_variant() {
+        let caps = [50.0, 20.0, 80.0];
+        let flows = vec![vec![0, 1], vec![1], vec![0, 2], vec![2], vec![0, 1, 2]];
+        let fs = max_min_fair_share_detailed(&caps, &flows);
+        assert_eq!(fs.rates, max_min_fair_share(&caps, &flows));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random (capacities, flow paths) instances: up to 6 resources with
+    /// capacities in [0, 1000], up to 10 flows each traversing a random
+    /// (possibly empty, possibly duplicated) subset of resources.
+    fn instances() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+        (1usize..=6).prop_flat_map(|nr| {
+            (
+                proptest::collection::vec(0.0f64..1000.0, nr),
+                proptest::collection::vec(proptest::collection::vec(0usize..nr, 0..=4), 0..=10),
+            )
+        })
+    }
+
+    proptest! {
+        /// Max-min rates never oversubscribe any link: for every
+        /// resource, the summed rate of flows through it stays within
+        /// capacity (up to fp tolerance).
+        #[test]
+        fn rates_never_oversubscribe((caps, flows) in instances()) {
+            let rates = max_min_fair_share(&caps, &flows);
+            for (r, &cap) in caps.iter().enumerate() {
+                let used: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .filter_map(|(fr, &rate)| {
+                        let crossings = fr.iter().filter(|&&x| x == r).count();
+                        (crossings > 0).then_some(rate * crossings as f64)
+                    })
+                    .sum();
+                prop_assert!(
+                    used <= cap + 1e-6 * (1.0 + cap),
+                    "resource {} over capacity: {} > {}",
+                    r, used, cap
+                );
+            }
+        }
+
+        /// Binding-link marking is consistent: every constrained flow is
+        /// frozen by a resource on its own path, and that resource is
+        /// saturated (its residual capacity is ~0), i.e. the flow really
+        /// is capped by a binding link. Unconstrained flows have no
+        /// binding and an infinite rate.
+        #[test]
+        fn binding_marks_are_consistent((caps, flows) in instances()) {
+            let fs = max_min_fair_share_detailed(&caps, &flows);
+            for (f, fr) in flows.iter().enumerate() {
+                if fr.is_empty() {
+                    prop_assert_eq!(fs.binding[f], None);
+                    prop_assert!(fs.rates[f].is_infinite());
+                    continue;
+                }
+                let r = fs.binding[f].expect("constrained flow must have a binding link");
+                prop_assert!(fr.contains(&r), "binding {} not on flow {}'s path", r, f);
+                let used: f64 = flows
+                    .iter()
+                    .zip(&fs.rates)
+                    .filter_map(|(g, &rate)| {
+                        let crossings = g.iter().filter(|&&x| x == r).count();
+                        (crossings > 0).then_some(rate * crossings as f64)
+                    })
+                    .sum();
+                prop_assert!(
+                    (used - caps[r]).abs() <= 1e-6 * (1.0 + caps[r]),
+                    "binding resource {} of flow {} is not saturated: used {} cap {}",
+                    r, f, used, caps[r]
+                );
+            }
+        }
+
+        /// The detailed variant's rates are bit-identical to the plain
+        /// wrapper (it *is* the implementation).
+        #[test]
+        fn detailed_and_plain_agree((caps, flows) in instances()) {
+            let fs = max_min_fair_share_detailed(&caps, &flows);
+            prop_assert_eq!(fs.rates, max_min_fair_share(&caps, &flows));
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! The flow network: active transfers and their fair-share rates.
 
-use crate::fairshare::max_min_fair_share;
+use crate::fairshare::max_min_fair_share_detailed;
+use crate::link::{Bottleneck, FlowClass, LinkClass, LinkInfo, LinkSample, LinkStats};
 use crate::params::NetworkParams;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -22,6 +23,38 @@ struct Flow {
     rate: f64,
     /// Caller-supplied correlation token, returned on completion.
     token: u64,
+    src: NodeId,
+    dst: NodeId,
+    /// Requested transfer size (exact).
+    bytes: u64,
+    started: SimTime,
+    class: FlowClass,
+    /// What froze this flow's rate at the latest recomputation.
+    bottleneck: Bottleneck,
+}
+
+/// A finished transfer returned by [`FlowNet::take_completed`]: the
+/// caller's token plus the flow's own metadata, so callers need no
+/// shadow map keyed by token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedFlow {
+    /// The flow's identifier.
+    pub id: FlowId,
+    /// Caller-supplied correlation token from `start_flow`.
+    pub token: u64,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Requested transfer size in bytes.
+    pub bytes: u64,
+    /// When the flow was started.
+    pub started: SimTime,
+    /// Traffic class the flow was tagged with.
+    pub class: FlowClass,
+    /// What bounded the flow's rate at the last recomputation before it
+    /// finished — its bottleneck attribution.
+    pub bottleneck: Bottleneck,
 }
 
 const BYTE_EPS: f64 = 1e-6;
@@ -47,7 +80,8 @@ const BYTE_EPS: f64 = 1e-6;
 /// net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 119_000_000, 42);
 /// let done_at = net.next_event_time().unwrap();
 /// let done = net.take_completed(done_at);
-/// assert_eq!(done[0].1, 42);
+/// assert_eq!(done[0].token, 42);
+/// assert_eq!(done[0].bytes, 119_000_000);
 /// assert!((done_at.as_secs_f64() - 1.0).abs() < 0.01); // 119 MB at 119 MB/s
 /// ```
 #[derive(Debug)]
@@ -58,6 +92,17 @@ pub struct FlowNet {
     flows: BTreeMap<u64, Flow>,
     next_id: u64,
     clock: SimTime,
+    /// Static catalog of the physical link resources (parallel to
+    /// `capacities`).
+    links: Vec<LinkInfo>,
+    /// Always-on per-link accumulators (parallel to `capacities`).
+    stats: Vec<LinkStats>,
+    /// Emit [`LinkSample`]s at rate recomputations?
+    sampling: bool,
+    samples: Vec<LinkSample>,
+    /// Last emitted `(utilization, active, binding)` per link, to
+    /// suppress unchanged samples.
+    last_sample: Vec<(f64, u32, bool)>,
 }
 
 impl FlowNet {
@@ -75,6 +120,45 @@ impl FlowNet {
         capacities.extend(std::iter::repeat_n(params.nic_mbps, 2 * n));
         capacities.extend(std::iter::repeat_n(params.rack_uplink_mbps, 2 * r));
         capacities.extend(std::iter::repeat_n(params.cloud_uplink_mbps, 2 * c));
+        let mut links = Vec::with_capacity(capacities.len());
+        for i in 0..n {
+            links.push(LinkInfo {
+                name: format!("node{i}.tx"),
+                class: LinkClass::NodeTx,
+                capacity_mbps: params.nic_mbps,
+            });
+            links.push(LinkInfo {
+                name: format!("node{i}.rx"),
+                class: LinkClass::NodeRx,
+                capacity_mbps: params.nic_mbps,
+            });
+        }
+        for i in 0..r {
+            links.push(LinkInfo {
+                name: format!("rack{i}.up"),
+                class: LinkClass::RackUp,
+                capacity_mbps: params.rack_uplink_mbps,
+            });
+            links.push(LinkInfo {
+                name: format!("rack{i}.down"),
+                class: LinkClass::RackDown,
+                capacity_mbps: params.rack_uplink_mbps,
+            });
+        }
+        for i in 0..c {
+            links.push(LinkInfo {
+                name: format!("cloud{i}.up"),
+                class: LinkClass::CloudUp,
+                capacity_mbps: params.cloud_uplink_mbps,
+            });
+            links.push(LinkInfo {
+                name: format!("cloud{i}.down"),
+                class: LinkClass::CloudDown,
+                capacity_mbps: params.cloud_uplink_mbps,
+            });
+        }
+        let stats = vec![LinkStats::default(); links.len()];
+        let last_sample = vec![(0.0, 0, false); links.len()];
         Self {
             topo,
             params,
@@ -82,6 +166,11 @@ impl FlowNet {
             flows: BTreeMap::new(),
             next_id: 0,
             clock: SimTime::ZERO,
+            links,
+            stats,
+            sampling: false,
+            samples: Vec::new(),
+            last_sample,
         }
     }
 
@@ -93,6 +182,31 @@ impl FlowNet {
     /// Number of in-flight flows.
     pub fn active_flows(&self) -> usize {
         self.flows.len()
+    }
+
+    /// The static catalog of physical link resources, indexed by the
+    /// resource ids used in [`LinkSample::link`] and
+    /// [`Bottleneck::Link`].
+    pub fn links(&self) -> &[LinkInfo] {
+        &self.links
+    }
+
+    /// The always-on accumulators, parallel to [`links`](Self::links).
+    pub fn link_stats(&self) -> &[LinkStats] {
+        &self.stats
+    }
+
+    /// Enable or disable [`LinkSample`] emission at rate recomputations.
+    /// Off by default; the byte/busy/peak accumulators in
+    /// [`link_stats`](Self::link_stats) run regardless.
+    pub fn set_sampling(&mut self, on: bool) {
+        self.sampling = on;
+    }
+
+    /// Take the buffered utilization samples accumulated since the last
+    /// drain (empty unless [`set_sampling`](Self::set_sampling) is on).
+    pub fn drain_link_samples(&mut self) -> Vec<LinkSample> {
+        std::mem::take(&mut self.samples)
     }
 
     fn tx(&self, node: NodeId) -> usize {
@@ -145,7 +259,9 @@ impl FlowNet {
 
     /// Begin a transfer of `bytes` from `src` to `dst` at time `now`;
     /// `token` is handed back on completion. Zero-byte flows still pay the
-    /// path latency.
+    /// path latency. The flow is tagged [`FlowClass::Other`]; use
+    /// [`start_flow_classed`](Self::start_flow_classed) to attribute its
+    /// bytes to a traffic class.
     ///
     /// # Panics
     /// Panics if `now` precedes the net's clock.
@@ -156,6 +272,24 @@ impl FlowNet {
         dst: NodeId,
         bytes: u64,
         token: u64,
+    ) -> FlowId {
+        self.start_flow_classed(now, src, dst, bytes, token, FlowClass::Other)
+    }
+
+    /// [`start_flow`](Self::start_flow) with an explicit traffic class:
+    /// every link on the flow's path accrues the flow's exact byte count
+    /// under `class` when the flow completes.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the net's clock.
+    pub fn start_flow_classed(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        token: u64,
+        class: FlowClass,
     ) -> FlowId {
         self.advance(now);
         let (resources, latency_us, rate_cap) = self.path(src, dst);
@@ -170,6 +304,12 @@ impl FlowNet {
                 remaining_bytes: bytes as f64,
                 rate: 0.0,
                 token,
+                src,
+                dst,
+                bytes,
+                started: now,
+                class,
+                bottleneck: Bottleneck::Unconstrained,
             },
         );
         self.recompute_rates();
@@ -188,13 +328,42 @@ impl FlowNet {
         if elapsed == 0.0 {
             return;
         }
+        // (link, start, end) active-transfer windows within this interval,
+        // merged per link below into exact busy time.
+        let mut windows: Vec<(usize, f64, f64)> = Vec::new();
         for flow in self.flows.values_mut() {
             let lat = flow.remaining_latency_us.min(elapsed);
             flow.remaining_latency_us -= lat;
             let active = elapsed - lat;
             if active > 0.0 && flow.rate > 0.0 {
+                let before = flow.remaining_bytes;
                 flow.remaining_bytes = (flow.remaining_bytes - flow.rate * active).max(0.0);
+                let drained = before - flow.remaining_bytes;
+                if drained > 0.0 {
+                    let end = (lat + drained / flow.rate).min(elapsed);
+                    for &r in &flow.resources {
+                        self.stats[r].bytes_total += drained;
+                        windows.push((r, lat, end));
+                    }
+                }
             }
+        }
+        windows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut i = 0;
+        while i < windows.len() {
+            let link = windows[i].0;
+            let (mut s, mut e) = (windows[i].1, windows[i].2);
+            i += 1;
+            while i < windows.len() && windows[i].0 == link {
+                if windows[i].1 <= e {
+                    e = e.max(windows[i].2);
+                } else {
+                    self.stats[link].busy_us += e - s;
+                    (s, e) = (windows[i].1, windows[i].2);
+                }
+                i += 1;
+            }
+            self.stats[link].busy_us += e - s;
         }
     }
 
@@ -220,8 +389,13 @@ impl FlowNet {
     }
 
     /// Advance to `now` and remove every flow that has finished, returning
-    /// `(id, token)` pairs in flow-creation order.
-    pub fn take_completed(&mut self, now: SimTime) -> Vec<(FlowId, u64)> {
+    /// a [`CompletedFlow`] per transfer in flow-creation order.
+    ///
+    /// Completion is also when byte attribution happens: every link on a
+    /// finished flow's path accrues the flow's *exact* requested byte
+    /// count under its [`FlowClass`] (same-node flows traverse no links,
+    /// so they accrue nowhere).
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<CompletedFlow> {
         self.advance(now);
         let done: Vec<u64> = self
             .flows
@@ -232,7 +406,25 @@ impl FlowNet {
         let mut out = Vec::with_capacity(done.len());
         for id in done {
             let flow = self.flows.remove(&id).expect("flow disappeared");
-            out.push((FlowId(id), flow.token));
+            for &r in &flow.resources {
+                let s = &mut self.stats[r];
+                match flow.class {
+                    FlowClass::MapRead => s.map_read_bytes += flow.bytes,
+                    FlowClass::Shuffle => s.shuffle_bytes += flow.bytes,
+                    FlowClass::OutputWrite => s.output_bytes += flow.bytes,
+                    FlowClass::Other => s.other_bytes += flow.bytes,
+                }
+            }
+            out.push(CompletedFlow {
+                id: FlowId(id),
+                token: flow.token,
+                src: flow.src,
+                dst: flow.dst,
+                bytes: flow.bytes,
+                started: flow.started,
+                class: flow.class,
+                bottleneck: flow.bottleneck,
+            });
         }
         if !out.is_empty() {
             self.recompute_rates();
@@ -258,6 +450,7 @@ impl FlowNet {
         // resource *inside* the max-min computation, so bandwidth a
         // capped flow cannot use is redistributed to its competitors
         // rather than stranded.
+        let physical = self.capacities.len();
         let mut capacities = self.capacities.clone();
         let paths: Vec<Vec<usize>> = self
             .flows
@@ -271,9 +464,61 @@ impl FlowNet {
                 path
             })
             .collect();
-        let rates = max_min_fair_share(&capacities, &paths);
-        for (flow, rate) in self.flows.values_mut().zip(rates) {
+        let fs = max_min_fair_share_detailed(&capacities, &paths);
+        for ((flow, rate), bind) in self.flows.values_mut().zip(fs.rates).zip(fs.binding) {
             flow.rate = rate.min(flow.rate_cap);
+            flow.bottleneck = match bind {
+                Some(r) if r < physical => Bottleneck::Link(r),
+                Some(_) => Bottleneck::RateCap,
+                None => Bottleneck::Unconstrained,
+            };
+        }
+        self.observe_links();
+    }
+
+    /// Fold the post-recomputation link state into the always-on
+    /// accumulators, and (when sampling) emit a [`LinkSample`] for every
+    /// link whose state changed.
+    fn observe_links(&mut self) {
+        let physical = self.capacities.len();
+        let mut rate_sum = vec![0.0f64; physical];
+        let mut active = vec![0u32; physical];
+        let mut binding = vec![false; physical];
+        for flow in self.flows.values() {
+            for &r in &flow.resources {
+                rate_sum[r] += flow.rate;
+                active[r] += 1;
+            }
+            if let Bottleneck::Link(r) = flow.bottleneck {
+                binding[r] = true;
+            }
+        }
+        let t_us = self.clock.as_micros();
+        for r in 0..physical {
+            let util = rate_sum[r] / self.capacities[r];
+            let s = &mut self.stats[r];
+            if util > s.peak_utilization {
+                s.peak_utilization = util;
+            }
+            if active[r] > s.peak_active_flows {
+                s.peak_active_flows = active[r];
+            }
+            if binding[r] {
+                s.binding_events += 1;
+            }
+            if self.sampling {
+                let state = (util, active[r], binding[r]);
+                if state != self.last_sample[r] {
+                    self.last_sample[r] = state;
+                    self.samples.push(LinkSample {
+                        t_us,
+                        link: r,
+                        utilization: util,
+                        active_flows: active[r],
+                        binding: binding[r],
+                    });
+                }
+            }
         }
     }
 }
@@ -291,8 +536,8 @@ mod tests {
     fn run_to_completion(net: &mut FlowNet) -> Vec<(SimTime, u64)> {
         let mut out = vec![];
         while let Some(t) = net.next_event_time() {
-            for (_, token) in net.take_completed(t) {
-                out.push((t, token));
+            for done in net.take_completed(t) {
+                out.push((t, done.token));
             }
         }
         out
@@ -479,6 +724,217 @@ mod tests {
         let mut n = net();
         n.advance(SimTime::from_secs(1));
         n.advance(SimTime::ZERO);
+    }
+
+    #[test]
+    fn completed_flow_carries_metadata() {
+        let mut n = net();
+        n.start_flow_classed(
+            SimTime::from_micros(250),
+            NodeId(0),
+            NodeId(1),
+            1_000_000,
+            42,
+            FlowClass::Shuffle,
+        );
+        let t = n.next_event_time().unwrap();
+        let done = n.take_completed(t);
+        assert_eq!(done.len(), 1);
+        let d = &done[0];
+        assert_eq!(d.token, 42);
+        assert_eq!(d.src, NodeId(0));
+        assert_eq!(d.dst, NodeId(1));
+        assert_eq!(d.bytes, 1_000_000);
+        assert_eq!(d.started, SimTime::from_micros(250));
+        assert_eq!(d.class, FlowClass::Shuffle);
+    }
+
+    #[test]
+    fn link_catalog_matches_resource_layout() {
+        let n = net(); // 2 racks × 3 nodes, 1 cloud
+        let links = n.links();
+        assert_eq!(links.len(), 2 * 6 + 2 * 2 + 2);
+        assert_eq!(links[0].name, "node0.tx");
+        assert_eq!(links[0].class, LinkClass::NodeTx);
+        assert_eq!(links[1].name, "node0.rx");
+        assert_eq!(links[12].name, "rack0.up");
+        assert_eq!(links[12].class, LinkClass::RackUp);
+        assert_eq!(links[15].name, "rack1.down");
+        assert_eq!(links[16].name, "cloud0.up");
+        assert_eq!(links[16].class, LinkClass::CloudUp);
+        for l in links {
+            assert!(l.capacity_mbps > 0.0);
+        }
+    }
+
+    #[test]
+    fn exact_class_bytes_attributed_on_completion() {
+        let mut n = net();
+        // Cross-rack shuffle + same-rack map read + same-node flow
+        // (the latter traverses no links and must accrue nowhere).
+        n.start_flow_classed(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(3),
+            5_000_000,
+            0,
+            FlowClass::Shuffle,
+        );
+        n.start_flow_classed(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            3_000_000,
+            1,
+            FlowClass::MapRead,
+        );
+        n.start_flow_classed(
+            SimTime::ZERO,
+            NodeId(4),
+            NodeId(4),
+            9_000_000,
+            2,
+            FlowClass::Shuffle,
+        );
+        run_to_completion(&mut n);
+        let rx_shuffle: u64 = n
+            .link_stats()
+            .iter()
+            .zip(n.links())
+            .filter(|(_, l)| l.class == LinkClass::NodeRx)
+            .map(|(s, _)| s.shuffle_bytes)
+            .sum();
+        assert_eq!(rx_shuffle, 5_000_000, "same-node shuffle must not count");
+        let rack_up = n.links().iter().position(|l| l.name == "rack0.up").unwrap();
+        assert_eq!(n.link_stats()[rack_up].shuffle_bytes, 5_000_000);
+        assert_eq!(n.link_stats()[rack_up].map_read_bytes, 0);
+        let rx_map: u64 = n
+            .link_stats()
+            .iter()
+            .zip(n.links())
+            .filter(|(_, l)| l.class == LinkClass::NodeRx)
+            .map(|(s, _)| s.map_read_bytes)
+            .sum();
+        assert_eq!(rx_map, 3_000_000);
+    }
+
+    #[test]
+    fn byte_integral_and_busy_time_track_single_flow() {
+        let mut n = net();
+        // 119 MB at 119 MB/s: ~1 s of busy time on node0.tx / node1.rx.
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 119_000_000, 0);
+        run_to_completion(&mut n);
+        let tx = &n.link_stats()[0];
+        assert!(
+            (tx.bytes_total - 119_000_000.0).abs() < 1.0,
+            "integral = {}",
+            tx.bytes_total
+        );
+        assert!(
+            (tx.busy_us - 1_000_000.0).abs() < 1_000.0,
+            "busy = {}",
+            tx.busy_us
+        );
+        assert!((tx.peak_utilization - 1.0).abs() < 1e-9);
+        assert_eq!(tx.peak_active_flows, 1);
+    }
+
+    #[test]
+    fn busy_time_merges_overlapping_flows() {
+        let mut n = net();
+        // Two flows share node0.tx the whole time: busy time is the
+        // union (~2 s for 2 × 119 MB at half rate each), not the sum.
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 119_000_000, 0);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), 119_000_000, 1);
+        run_to_completion(&mut n);
+        let tx = &n.link_stats()[0];
+        assert!(
+            (tx.busy_us - 2_000_000.0).abs() < 2_000.0,
+            "busy = {}",
+            tx.busy_us
+        );
+        assert_eq!(tx.peak_active_flows, 2);
+        assert!(
+            (tx.bytes_total - 238_000_000.0).abs() < 2.0,
+            "integral = {}",
+            tx.bytes_total
+        );
+    }
+
+    #[test]
+    fn bottleneck_attribution_rate_cap_vs_link() {
+        // A solo cross-rack flow is bound by its 40 MB/s connection cap.
+        let mut solo = net();
+        solo.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 1_000_000, 0);
+        let t = solo.next_event_time().unwrap();
+        let done = solo.take_completed(t);
+        assert_eq!(done[0].bottleneck, Bottleneck::RateCap);
+
+        // Four competing cross-rack senders oversubscribe the shared
+        // 119 MB/s uplink (4 × 40 > 119): the uplink binds.
+        let topo = Arc::new(generate::uniform(2, 4, DistanceTiers::default()));
+        let mut n = FlowNet::new(topo, NetworkParams::default());
+        for i in 0..4u32 {
+            n.start_flow(
+                SimTime::ZERO,
+                NodeId(i),
+                NodeId(4 + i),
+                10_000_000,
+                u64::from(i),
+            );
+        }
+        let t = n.next_event_time().unwrap();
+        let done = n.take_completed(t);
+        let rack0_up = n.links().iter().position(|l| l.name == "rack0.up").unwrap();
+        assert_eq!(done[0].bottleneck, Bottleneck::Link(rack0_up));
+        assert!(n.link_stats()[rack0_up].binding_events > 0);
+    }
+
+    #[test]
+    fn sampling_emits_changed_links_only() {
+        let mut n = net();
+        n.set_sampling(true);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, 0);
+        let samples = n.drain_link_samples();
+        // One recompute touched exactly node0.tx and node1.rx.
+        assert_eq!(samples.len(), 2);
+        for s in &samples {
+            assert!(s.utilization > 0.0 && s.utilization <= 1.0 + 1e-9);
+            assert_eq!(s.active_flows, 1);
+            assert_eq!(s.t_us, 0);
+        }
+        run_to_completion(&mut n);
+        let after = n.drain_link_samples();
+        // Completion recompute drops both links back to zero.
+        assert_eq!(after.len(), 2);
+        for s in &after {
+            assert_eq!(s.utilization, 0.0);
+            assert_eq!(s.active_flows, 0);
+        }
+        // Untraced runs buffer nothing.
+        let mut quiet = net();
+        quiet.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000, 0);
+        run_to_completion(&mut quiet);
+        assert!(quiet.drain_link_samples().is_empty());
+    }
+
+    #[test]
+    fn telemetry_does_not_change_completion_times() {
+        let mk = |sampling: bool| {
+            let mut n = net();
+            n.set_sampling(sampling);
+            for i in 0..8u64 {
+                n.start_flow(
+                    SimTime::from_micros(i * 137),
+                    NodeId((i % 6) as u32),
+                    NodeId(((i + 3) % 6) as u32),
+                    1_000_000 + i * 50_000,
+                    i,
+                );
+            }
+            run_to_completion(&mut n)
+        };
+        assert_eq!(mk(false), mk(true));
     }
 
     #[test]

@@ -20,15 +20,24 @@
 //!
 //! Rates are in MB/s, which conveniently equals bytes/µs — the unit of
 //! [`vc_des::SimTime`].
+//!
+//! Every link resource additionally carries always-on telemetry
+//! ([`LinkStats`]: byte integrals, exact per-class byte counters, busy
+//! time, peaks, binding counts) and can emit utilization time-series
+//! samples ([`LinkSample`]) at each rate recomputation; completed flows
+//! report which link (or per-connection ceiling) bound their rate
+//! ([`Bottleneck`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod fairshare;
 mod flownet;
+mod link;
 pub mod measure;
 mod params;
 
-pub use fairshare::max_min_fair_share;
-pub use flownet::{FlowId, FlowNet};
+pub use fairshare::{max_min_fair_share, max_min_fair_share_detailed, FairShare};
+pub use flownet::{CompletedFlow, FlowId, FlowNet};
+pub use link::{Bottleneck, FlowClass, LinkClass, LinkInfo, LinkSample, LinkStats};
 pub use params::NetworkParams;

@@ -86,7 +86,7 @@ proptest! {
         let predicted = net.isolated_transfer_time(NodeId(src), NodeId(dst), bytes);
         let mut done = vec![];
         while let Some(t) = net.next_event_time() {
-            done.extend(net.take_completed(t).into_iter().map(|(_, tok)| (t, tok)));
+            done.extend(net.take_completed(t).into_iter().map(|c| (t, c.token)));
         }
         prop_assert_eq!(done.len(), 1);
         let t = done[0].0;

@@ -258,6 +258,13 @@ pub struct JobAttribution {
     pub end_us: u64,
     /// Cluster distance DC(C) of the placement, if recorded on the job span.
     pub distance: Option<u64>,
+    /// Link class (`"rack-up"`, `"node-rx"`, …), `"rate-cap"`, or
+    /// `"none"` that bottlenecked the gating reducer's *last* shuffle
+    /// fetch, if the engine recorded it. Decomposes
+    /// `shuffle-network-wait` by where the contention actually was:
+    /// `"rack-up"`/`"cloud-up"` tails are the affinity-attributable
+    /// ones, `"node-rx"` tails are incast at the reducer.
+    pub gating_bottleneck: Option<String>,
     pub segments: Vec<Segment>,
 }
 
@@ -293,6 +300,7 @@ impl JobAttribution {
             "end_us": self.end_us,
             "makespan_us": self.makespan_us(),
             "distance": self.distance,
+            "gating_bottleneck": self.gating_bottleneck,
             "categories_us": Value::Object(cats),
         })
     }
@@ -388,6 +396,7 @@ fn walk_map_chain(segs: &mut Vec<Segment>, maps: &[&DumpSpan], job_start: u64, f
 fn analyze_job(job: &DumpSpan, members: &[&DumpSpan]) -> JobAttribution {
     let (j0, j1) = (job.start_us, job.end_us);
     let mut segs: Vec<Segment> = Vec::new();
+    let mut gating_bottleneck: Option<String> = None;
 
     let maps: Vec<&DumpSpan> = members
         .iter()
@@ -453,6 +462,10 @@ fn analyze_job(job: &DumpSpan, members: &[&DumpSpan]) -> JobAttribution {
 
             match by_reducer("shuffle", r) {
                 Some(shuffle) => {
+                    gating_bottleneck = shuffle
+                        .attr("last_fetch_bottleneck")
+                        .and_then(Value::as_str)
+                        .map(str::to_string);
                     push_seg(
                         &mut segs,
                         Category::SchedulerWait,
@@ -510,6 +523,7 @@ fn analyze_job(job: &DumpSpan, members: &[&DumpSpan]) -> JobAttribution {
         start_us: j0,
         end_us: j1,
         distance: job.attr_u64("cluster_distance"),
+        gating_bottleneck,
         segments: segs,
     }
 }
@@ -607,6 +621,7 @@ mod tests {
                         ("reducer", json!(0)),
                         ("maps_done_us", json!(400)),
                         ("last_fetch_ideal_us", json!(50)),
+                        ("last_fetch_bottleneck", json!("rack-up")),
                     ],
                 ),
                 span(2, "reduce", 600, 900, &[("reducer", json!(0))]),
@@ -620,6 +635,7 @@ mod tests {
         let job = &jobs[0];
         assert_eq!(job.makespan_us(), 1000);
         assert_eq!(job.distance, Some(7));
+        assert_eq!(job.gating_bottleneck.as_deref(), Some("rack-up"));
 
         // Chain: map1 [0,400] (200 map + 200 slack, f=2), shuffle tail
         // [400,600] (150 network-wait + 50 wire), reduce [600,900],

@@ -10,10 +10,13 @@ use serde::{Deserialize, Serialize};
 ///
 /// Bucket 0 holds the value 0; bucket `i >= 1` holds values in
 /// `[2^(i-1), 2^i - 1]`. 65 buckets cover the full `u64` domain.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     pub count: u64,
     pub sum: u64,
+    /// Smallest sample, or 0 when empty — a never-sampled histogram must
+    /// not serialize a `u64::MAX` sentinel in snapshots; [`Self::record`]
+    /// seeds it from the first sample instead.
     pub min: u64,
     pub max: u64,
     /// Sparse non-empty buckets as `(index, count)` pairs.
@@ -41,23 +44,11 @@ pub fn bucket_lower_bound(i: u32) -> u64 {
     }
 }
 
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-            buckets: Vec::new(),
-        }
-    }
-}
-
 impl Histogram {
     pub fn record(&mut self, v: u64) {
+        self.min = if self.count == 0 { v } else { self.min.min(v) };
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
-        self.min = self.min.min(v);
         self.max = self.max.max(v);
         let idx = bucket_index(v);
         match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
@@ -240,6 +231,25 @@ mod tests {
         assert_eq!(h.min, 0);
         assert_eq!(h.max, 1000);
         assert!(h.quantile(0.0) >= h.min && h.quantile(1.0) <= h.max);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_has_zero_min() {
+        // Regression: a never-sampled histogram used to serialize
+        // `min: u64::MAX` in JSON/CSV snapshots.
+        let h = Histogram::default();
+        assert_eq!(h.min, 0);
+        let mut reg = MetricsRegistry::new();
+        reg.histograms.insert("empty".to_string(), h);
+        let snap = reg.snapshot();
+        assert!(!snap.to_json_string().contains(&u64::MAX.to_string()));
+        assert!(!snap.to_csv().contains(&u64::MAX.to_string()));
+        // And a first sample still seeds the minimum correctly.
+        let mut h = Histogram::default();
+        h.record(7);
+        assert_eq!(h.min, 7);
+        h.record(3);
+        assert_eq!(h.min, 3);
     }
 
     #[test]

@@ -127,6 +127,10 @@ pub trait Recorder {
     /// Set an instantaneous gauge (last-write-wins in the snapshot).
     fn gauge_set(&self, _name: &'static str, _value: f64) {}
 
+    /// Raise a gauge to `value` if it is the largest seen so far
+    /// (running maximum — peak utilization, high-water marks).
+    fn gauge_max(&self, _name: &'static str, _value: f64) {}
+
     /// Record a sample into a log-bucketed histogram.
     fn histogram_record(&self, _name: &'static str, _value: u64) {}
 
@@ -181,6 +185,9 @@ impl<R: Recorder + ?Sized> Recorder for &R {
     fn gauge_set(&self, name: &'static str, value: f64) {
         (**self).gauge_set(name, value)
     }
+    fn gauge_max(&self, name: &'static str, value: f64) {
+        (**self).gauge_max(name, value)
+    }
     fn histogram_record(&self, name: &'static str, value: u64) {
         (**self).histogram_record(name, value)
     }
@@ -217,6 +224,9 @@ impl<R: Recorder + ?Sized> Recorder for std::rc::Rc<R> {
     fn gauge_set(&self, name: &'static str, value: f64) {
         (**self).gauge_set(name, value)
     }
+    fn gauge_max(&self, name: &'static str, value: f64) {
+        (**self).gauge_max(name, value)
+    }
     fn histogram_record(&self, name: &'static str, value: u64) {
         (**self).histogram_record(name, value)
     }
@@ -252,6 +262,9 @@ impl<R: Recorder + ?Sized> Recorder for std::sync::Arc<R> {
     }
     fn gauge_set(&self, name: &'static str, value: f64) {
         (**self).gauge_set(name, value)
+    }
+    fn gauge_max(&self, name: &'static str, value: f64) {
+        (**self).gauge_max(name, value)
     }
     fn histogram_record(&self, name: &'static str, value: u64) {
         (**self).histogram_record(name, value)
@@ -372,6 +385,10 @@ impl Recorder for MemRecorder {
 
     fn gauge_set(&self, name: &'static str, value: f64) {
         self.inner.borrow_mut().metrics.gauge_set(name, value);
+    }
+
+    fn gauge_max(&self, name: &'static str, value: f64) {
+        self.inner.borrow_mut().metrics.gauge_max(name, value);
     }
 
     fn histogram_record(&self, name: &'static str, value: u64) {

@@ -40,6 +40,10 @@ enum Op {
         name: &'static str,
         value: f64,
     },
+    GaugeMax {
+        name: &'static str,
+        value: f64,
+    },
     HistRecord {
         name: &'static str,
         value: u64,
@@ -200,6 +204,7 @@ impl ShardedRecorder {
             match op {
                 Op::CounterAdd { name, delta } => metrics.counter_add(name, delta),
                 Op::GaugeSet { name, value } => metrics.gauge_set(name, value),
+                Op::GaugeMax { name, value } => metrics.gauge_max(name, value),
                 Op::HistRecord { name, value } => metrics.histogram_record(name, value),
                 Op::CounterSample { name, value } => {
                     metrics.gauge_set(name, value);
@@ -286,6 +291,10 @@ impl Recorder for ShardedRecorder {
 
     fn gauge_set(&self, name: &'static str, value: f64) {
         self.push(None, Op::GaugeSet { name, value });
+    }
+
+    fn gauge_max(&self, name: &'static str, value: f64) {
+        self.push(None, Op::GaugeMax { name, value });
     }
 
     fn histogram_record(&self, name: &'static str, value: u64) {
