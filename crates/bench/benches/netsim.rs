@@ -1,0 +1,91 @@
+//! Criterion benches for the `vc-netsim` fluid network model.
+//!
+//! Two layers, measured separately:
+//!
+//! * `fairshare_solve/N` — one progressive-filling max-min solve over a
+//!   synthetic 2-resource-per-flow system, the inner kernel that every
+//!   rate recomputation pays.
+//! * `flownet_drain/N` — the full event-driven life of N simultaneous
+//!   cross-rack flows on the paper topology: start, repeated
+//!   advance/recompute as flows complete, drain. Per-iteration time ÷ N
+//!   is the sustained flows/sec figure recorded in `BENCH_netsim.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use vc_des::SimTime;
+use vc_netsim::{max_min_fair_share, FlowNet, NetworkParams};
+use vc_topology::{generate, DistanceTiers, NodeId, Topology};
+
+/// A synthetic solve instance: `n` flows, each crossing its source
+/// uplink and a shared core link, with staggered capacities so the
+/// progressive filling runs several freezing rounds.
+fn solve_instance(n: usize) -> (Vec<f64>, Vec<Vec<usize>>) {
+    let nr = n / 4 + 2;
+    let capacities: Vec<f64> = (0..nr)
+        .map(|r| 1000.0 + 250.0 * ((r * 37 % 11) as f64))
+        .collect();
+    let flows: Vec<Vec<usize>> = (0..n)
+        .map(|f| vec![f % (nr - 1), nr - 1]) // own uplink + shared core
+        .collect();
+    (capacities, flows)
+}
+
+fn bench_fairshare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairshare_solve");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    for n in [16usize, 64, 256] {
+        let (caps, flows) = solve_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(max_min_fair_share(black_box(&caps), black_box(&flows))))
+        });
+    }
+    group.finish();
+}
+
+fn paper_topo() -> Arc<Topology> {
+    Arc::new(generate::uniform(4, 8, DistanceTiers::paper_experiment()))
+}
+
+/// Start `n` flows spread across the topology and run the fluid model
+/// until all complete, exercising the advance → recompute → complete
+/// loop that dominates shuffle simulation.
+fn drain(topo: &Arc<Topology>, n: u64) -> usize {
+    let mut net = FlowNet::new(Arc::clone(topo), NetworkParams::default());
+    let nodes = 4 * 8;
+    for i in 0..n {
+        let src = NodeId((i * 7 % nodes) as u32);
+        let dst = NodeId(((i * 13 + 5) % nodes) as u32);
+        // 1 MiB ± stagger so completions interleave instead of batching.
+        net.start_flow(SimTime::ZERO, src, dst, (1 << 20) + i * 4096, i);
+    }
+    let mut done = 0;
+    while let Some(next) = net.next_event_time() {
+        net.advance(next);
+        done += net.take_completed(next).len();
+    }
+    done
+}
+
+fn bench_flownet_drain(c: &mut Criterion) {
+    let topo = paper_topo();
+    let mut group = c.benchmark_group("flownet_drain");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
+    for n in [64u64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let completed = drain(&topo, n);
+                assert_eq!(completed as u64, n, "every flow must complete");
+                black_box(completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fairshare, bench_flownet_drain);
+criterion_main!(benches);

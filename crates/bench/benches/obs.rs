@@ -1,51 +1,157 @@
-//! Criterion benches for the `vc-obs` observability layer.
+//! Paired-overhead benches for the `vc-obs` observability layer.
 //!
 //! The claim under test: threading a [`NoopRecorder`] through the
 //! simulators is free. `simulate_job` is the uninstrumented baseline
 //! (it monomorphises the recorder away), `noop_recorder` goes through
 //! the `&dyn Recorder` entry point with the no-op sink, and
 //! `mem_recorder` pays for real buffering — the upper bound.
+//!
+//! Measurement design: the old version timed baseline and variant as
+//! independent criterion groups, so clock drift and allocator warm-up
+//! between the two windows dominated the ~1% effect being measured and
+//! the reported overhead came out *negative*. This version times both
+//! sides inside the SAME iteration, alternating which runs first, and
+//! reports the **median of per-pair ratios** — pairing cancels the
+//! drift, alternation cancels ordering bias.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+
 use vc_bench::scenarios;
 use vc_des::{Engine, SimTime};
 use vc_mapreduce::engine::SimParams;
 use vc_mapreduce::{simulate_job, simulate_job_traced, JobConfig};
 use vc_obs::{MemRecorder, NoopRecorder};
 
-fn bench_job_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("obs_job");
-    group
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3));
+/// Result of one paired comparison.
+struct Paired {
+    base_us: Vec<f64>,
+    variant_us: Vec<f64>,
+    ratios: Vec<f64>,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn summarize(mut xs: Vec<f64>) -> (f64, f64, f64) {
+    xs.sort_by(f64::total_cmp);
+    (xs[0], median(&xs), xs[xs.len() - 1])
+}
+
+/// Time `base` and `variant` back-to-back in every pair, alternating
+/// which side runs first, and collect per-pair variant/base ratios.
+fn run_paired(
+    pairs: usize,
+    batch: u32,
+    mut base: impl FnMut(),
+    mut variant: impl FnMut(),
+) -> Paired {
+    let time_batch = |f: &mut dyn FnMut()| -> f64 {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        start.elapsed().as_secs_f64() * 1e6 / f64::from(batch)
+    };
+    // Warm-up: touch both sides so first-call effects (page faults,
+    // lazy allocator arenas) land outside the measurement.
+    for _ in 0..2 {
+        base();
+        variant();
+    }
+    let mut out = Paired {
+        base_us: Vec::with_capacity(pairs),
+        variant_us: Vec::with_capacity(pairs),
+        ratios: Vec::with_capacity(pairs),
+    };
+    for i in 0..pairs {
+        let (b_us, v_us) = if i % 2 == 0 {
+            let b = time_batch(&mut base);
+            let v = time_batch(&mut variant);
+            (b, v)
+        } else {
+            let v = time_batch(&mut variant);
+            let b = time_batch(&mut base);
+            (b, v)
+        };
+        out.base_us.push(b_us);
+        out.variant_us.push(v_us);
+        out.ratios.push(v_us / b_us);
+    }
+    out
+}
+
+fn report(group: &str, variant: &str, p: &Paired) {
+    let (b_lo, b_med, b_hi) = summarize(p.base_us.clone());
+    let (v_lo, v_med, v_hi) = summarize(p.variant_us.clone());
+    let (_, r_med, _) = summarize(p.ratios.clone());
+    let overhead_pct = (r_med - 1.0) * 100.0;
+    println!(
+        "{group}/baseline{:<width$} time: [{b_lo:.2} {b_med:.2} {b_hi:.2}] µs",
+        "",
+        width = 30usize.saturating_sub(group.len())
+    );
+    println!(
+        "{group}/{variant:<w$} time: [{v_lo:.2} {v_med:.2} {v_hi:.2}] µs   \
+         paired overhead: {overhead_pct:+.1}% (median of {} per-pair ratios)",
+        p.ratios.len(),
+        w = 38usize.saturating_sub(group.len()),
+    );
+}
+
+fn bench_job_overhead(pairs: usize, batch: u32) {
     let clusters = scenarios::fig7_clusters();
     let (_, compact) = &clusters[0];
     let job = JobConfig::paper_wordcount();
     let params = SimParams::default();
 
-    group.bench_function("baseline", |b| {
-        b.iter(|| simulate_job(black_box(compact), black_box(&job), &params))
-    });
-    group.bench_function("noop_recorder", |b| {
-        b.iter(|| {
-            simulate_job_traced(
+    let noop = run_paired(
+        pairs,
+        batch,
+        || {
+            black_box(simulate_job(black_box(compact), black_box(&job), &params));
+        },
+        || {
+            black_box(simulate_job_traced(
                 black_box(compact),
                 black_box(&job),
                 &params,
                 &NoopRecorder,
                 0,
                 0,
-            )
-        })
-    });
-    group.bench_function("mem_recorder", |b| {
-        b.iter(|| {
+            ));
+        },
+    );
+    report("obs_job", "noop_recorder", &noop);
+
+    let mem = run_paired(
+        pairs,
+        batch,
+        || {
+            black_box(simulate_job(black_box(compact), black_box(&job), &params));
+        },
+        || {
             let rec = MemRecorder::new();
-            simulate_job_traced(black_box(compact), black_box(&job), &params, &rec, 0, 0)
-        })
-    });
-    group.finish();
+            black_box(simulate_job_traced(
+                black_box(compact),
+                black_box(&job),
+                &params,
+                &rec,
+                0,
+                0,
+            ));
+        },
+    );
+    report("obs_job", "mem_recorder", &mem);
 }
 
 #[derive(Clone, Copy)]
@@ -57,37 +163,41 @@ impl vc_des::EventKind for Tick {
     }
 }
 
-fn bench_des_pop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("obs_des_pop");
-    group
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3));
+fn bench_des_pop(pairs: usize, batch: u32) {
     let fill = |engine: &mut Engine<Tick>| {
         for i in 0..4096u64 {
             engine.schedule(SimTime::from_micros(i * 7 % 911), Tick(i));
         }
     };
-
-    group.bench_function("plain", |b| {
-        b.iter(|| {
+    let paired = run_paired(
+        pairs,
+        batch,
+        || {
             let mut engine = Engine::new();
             fill(&mut engine);
             while let Some((at, Tick(v))) = engine.pop() {
                 black_box((at, v));
             }
-        })
-    });
-    group.bench_function("traced_noop", |b| {
-        b.iter(|| {
+        },
+        || {
             let mut engine = Engine::new();
             fill(&mut engine);
             while let Some((at, Tick(v))) = engine.pop_traced(&NoopRecorder) {
                 black_box((at, v));
             }
-        })
-    });
-    group.finish();
+        },
+    );
+    report("obs_des_pop", "traced_noop", &paired);
 }
 
-criterion_group!(benches, bench_job_overhead, bench_des_pop);
-criterion_main!(benches);
+fn main() {
+    // `cargo test`/CI smoke passes `--test`: run one tiny pair per
+    // bench so the code paths execute without burning bench time.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (pairs, batch) = if test_mode { (1, 1) } else { (31, 16) };
+    bench_job_overhead(pairs, batch);
+    bench_des_pop(pairs, if test_mode { 1 } else { 8 });
+    if test_mode {
+        println!("test obs paired benches ... ok");
+    }
+}

@@ -27,7 +27,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Boolean switches that take no value.
-const SWITCHES: &[&str] = &["json", "speculative", "network"];
+const SWITCHES: &[&str] = &["json", "speculative", "network", "perf"];
 
 /// Parsed `--key value` pairs and switches.
 #[derive(Debug, Clone, Default)]

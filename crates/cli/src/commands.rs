@@ -75,9 +75,12 @@ fn workload_by_name(name: &str) -> Result<Workload, ArgError> {
     })
 }
 
-/// Whether `--trace-out` or `--metrics-out` asks for a recorded run.
+/// Whether `--trace-out`, `--metrics-out` or `--prom-out` asks for a
+/// recorded run.
 fn wants_observability(p: &Parsed) -> bool {
-    !p.str_or("trace-out", "").is_empty() || !p.str_or("metrics-out", "").is_empty()
+    !p.str_or("trace-out", "").is_empty()
+        || !p.str_or("metrics-out", "").is_empty()
+        || !p.str_or("prom-out", "").is_empty()
 }
 
 /// The recorder a command records into: the single-threaded
@@ -151,6 +154,14 @@ fn write_observability(p: &Parsed, rec: &CliRecorder) -> Result<(), ArgError> {
             };
             std::fs::write(path, text)
                 .map_err(|e| ArgError::new(format!("--metrics-out {path}: {e}")))?;
+        }
+    }
+    match p.str_or("prom-out", "") {
+        "" => {}
+        path => {
+            let text = vc_obs::to_prometheus(&rec.metrics());
+            std::fs::write(path, text)
+                .map_err(|e| ArgError::new(format!("--prom-out {path}: {e}")))?;
         }
     }
     Ok(())
@@ -233,6 +244,7 @@ pub fn simulate_job(p: &Parsed) -> Result<String, ArgError> {
         "straggler-prob",
         "trace-out",
         "metrics-out",
+        "prom-out",
     ])?;
     let spread = p.u32_list("spread")?.unwrap_or_else(|| vec![2, 10, 0]);
     if spread.len() != 3 {
@@ -312,6 +324,7 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
         "save-trace",
         "trace-out",
         "metrics-out",
+        "prom-out",
         "placement-threads",
     ])?;
     let cloud = build_cloud(p)?;
@@ -410,6 +423,7 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
         "reducers",
         "trace-out",
         "metrics-out",
+        "prom-out",
         "placement-threads",
     ])?;
     let cloud = build_cloud(p)?;
@@ -704,24 +718,158 @@ fn network_summary(metrics: &serde_json::Value) -> (serde_json::Value, String) {
     (json, text)
 }
 
+/// One counter from a metrics-snapshot JSON document, defaulting to 0.
+fn snap_counter(metrics: &serde_json::Value, name: &str) -> u64 {
+    metrics
+        .get("counters")
+        .and_then(serde_json::Value::as_object)
+        .and_then(|entries| entries.iter().find(|(k, _)| k == name))
+        .and_then(|(_, v)| v.as_u64())
+        .unwrap_or(0)
+}
+
+/// One gauge from a metrics-snapshot JSON document, if present.
+fn snap_gauge(metrics: &serde_json::Value, name: &str) -> Option<f64> {
+    metrics
+        .get("gauges")
+        .and_then(serde_json::Value::as_object)
+        .and_then(|entries| entries.iter().find(|(k, _)| k == name))
+        .and_then(|(_, v)| v.as_f64())
+}
+
+/// The `--perf` self-profile summary: where the *simulator's* wall-clock
+/// went (by `prof.phase.*`), fair-share solver effort, DES event volume,
+/// and peak RSS. The exclusive breakdown tiles the total exactly by
+/// construction: `serve` and `des_pop` are disjoint slices of
+/// `cloudsim_run`, `mr_service` is the slice of `serve` inside the
+/// MapReduce engine, and `other` is the remainder. A standalone
+/// `simulate-job` run has no queue loop; its total is `mr_job`.
+fn perf_summary(metrics: &serde_json::Value) -> (serde_json::Value, String) {
+    let phase_wall = |name: &str| snap_counter(metrics, &format!("prof.phase.{name}.wall_us"));
+    let phase_calls = |name: &str| snap_counter(metrics, &format!("prof.phase.{name}.calls"));
+
+    let run_wall = phase_wall("cloudsim_run");
+    let serve = phase_wall("serve");
+    let mr_service = phase_wall("mr_service");
+    let des_pop = phase_wall("des_pop");
+    let standalone = phase_calls("cloudsim_run") == 0;
+    let (total, total_phase) = if standalone {
+        (phase_wall("mr_job"), "mr_job")
+    } else {
+        (run_wall, "cloudsim_run")
+    };
+
+    // Exclusive components. Saturating arithmetic keeps degenerate and
+    // partially-profiled snapshots at exact zeros instead of underflowing.
+    let breakdown: Vec<(&str, u64)> = if standalone {
+        vec![("mapreduce", total), ("other", 0)]
+    } else {
+        vec![
+            ("placement/queue", serve.saturating_sub(mr_service)),
+            ("mapreduce", mr_service),
+            ("des-pop", des_pop),
+            ("other", total.saturating_sub(serve).saturating_sub(des_pop)),
+        ]
+    };
+
+    let phases: Vec<serde_json::Value> = vc_obs::prof::PHASES
+        .iter()
+        .filter(|ph| phase_calls(ph.name) > 0)
+        .map(|ph| {
+            serde_json::json!({
+                "phase": ph.name,
+                "calls": phase_calls(ph.name),
+                "wall_us": phase_wall(ph.name),
+            })
+        })
+        .collect();
+    let num_phases = phases.len();
+
+    let solves = snap_counter(metrics, "prof.solver.solves");
+    let flows = snap_counter(metrics, "prof.solver.flows");
+    let iterations = snap_counter(metrics, "prof.solver.iterations");
+    let links_touched = snap_counter(metrics, "prof.solver.links_touched");
+    let avg_flows = if solves > 0 {
+        flows as f64 / solves as f64
+    } else {
+        0.0
+    };
+    let avg_iters = if solves > 0 {
+        iterations as f64 / solves as f64
+    } else {
+        0.0
+    };
+    let peak_flows = snap_gauge(metrics, "prof.solver.peak_flows").unwrap_or(0.0);
+    let events = snap_counter(metrics, "des.events_processed");
+    let peak_rss_kb = snap_gauge(metrics, "prof.rss_peak_kb");
+
+    let pct = |us: u64| -> f64 {
+        if total > 0 {
+            100.0 * us as f64 / total as f64
+        } else {
+            0.0
+        }
+    };
+    let breakdown_objs: Vec<serde_json::Value> = breakdown
+        .iter()
+        .map(|(name, us)| serde_json::json!({"component": *name, "wall_us": *us, "pct": pct(*us)}))
+        .collect();
+    let json = serde_json::json!({
+        "total_wall_us": total,
+        "total_phase": total_phase,
+        "breakdown": breakdown_objs,
+        "phases": phases,
+        "solver": {
+            "solves": solves,
+            "flows": flows,
+            "iterations": iterations,
+            "links_touched": links_touched,
+            "completion_batches": snap_counter(metrics, "prof.solver.completion_batches"),
+            "batch_flows": snap_counter(metrics, "prof.solver.batch_flows"),
+            "wall_us": snap_counter(metrics, "prof.solver.wall_us"),
+            "avg_flows_per_solve": avg_flows,
+            "avg_iterations_per_solve": avg_iters,
+            "peak_flows": peak_flows,
+            "peak_iterations": snap_gauge(metrics, "prof.solver.peak_iterations").unwrap_or(0.0),
+        },
+        "des": { "events_processed": events },
+        "peak_rss_kb": peak_rss_kb,
+    });
+
+    let mut text = String::new();
+    text.push_str(&format!(
+        "\nperf — simulator self-profile ({num_phases} phase(s) recorded)\n"
+    ));
+    text.push_str(&format!(
+        "  total wall-clock: {:.3}s ({total_phase})\n",
+        total as f64 / 1e6
+    ));
+    for (name, us) in &breakdown {
+        text.push_str(&format!(
+            "    {:<16} {:>9.3}s {:>5.1}%\n",
+            name,
+            *us as f64 / 1e6,
+            pct(*us),
+        ));
+    }
+    text.push_str(&format!(
+        "  solver: {solves} solve(s), {flows} flow(s) (avg {avg_flows:.1}/solve, peak {peak_flows:.0}), \
+         {iterations} iteration(s), {links_touched} link(s) touched\n"
+    ));
+    text.push_str(&format!("  des: {events} event(s) processed\n"));
+    if let Some(kb) = peak_rss_kb {
+        text.push_str(&format!("  peak RSS: {:.1} MB\n", kb / 1024.0));
+    }
+    (json, text)
+}
+
 /// `affinity-vc report` — analyse a trace written by `--trace-out`:
 /// per-job critical-path attribution (where did the makespan go), the
 /// placement decision audit (seed-scan work, bound gaps, Theorem-2
 /// exchanges), and optionally the headline placement counters from a
 /// `--metrics-out` snapshot.
 pub fn report(p: &Parsed) -> Result<String, ArgError> {
-    p.ensure_known(&["trace", "metrics", "json", "network"])?;
-    let trace_path = p.required("trace").map_err(|_| {
-        ArgError::new("missing required option --trace <FILE> (a file written by --trace-out)")
-    })?;
-    let text = std::fs::read_to_string(trace_path)
-        .map_err(|e| ArgError::new(format!("--trace {trace_path}: I/O error: {e}")))?;
-    let doc: serde_json::Value = serde_json::from_str(&text)
-        .map_err(|e| ArgError::new(format!("--trace {trace_path}: {e}")))?;
-    let dump = TraceDump::from_chrome_value(&doc)
-        .map_err(|e| ArgError::new(format!("--trace {trace_path}: {e}")))?;
-    let jobs = vc_obs::analyze(&dump);
-
+    p.ensure_known(&["trace", "metrics", "json", "network", "perf"])?;
     let metrics: Option<serde_json::Value> = match p.str_or("metrics", "") {
         "" => None,
         path => {
@@ -734,11 +882,40 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
         }
     };
 
+    // `--perf` only needs a metrics snapshot, so --trace becomes optional
+    // when it is the sole request; every other mode still requires it.
+    let trace_path = p.str_or("trace", "");
+    let dump = if trace_path.is_empty() {
+        if !(p.switch("perf") && metrics.is_some()) {
+            return Err(ArgError::new(
+                "missing required option --trace <FILE> (a file written by --trace-out); \
+                 only `report --perf --metrics <FILE>` works without one",
+            ));
+        }
+        TraceDump::default()
+    } else {
+        let text = std::fs::read_to_string(trace_path)
+            .map_err(|e| ArgError::new(format!("--trace {trace_path}: I/O error: {e}")))?;
+        let doc: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| ArgError::new(format!("--trace {trace_path}: {e}")))?;
+        TraceDump::from_chrome_value(&doc)
+            .map_err(|e| ArgError::new(format!("--trace {trace_path}: {e}")))?
+    };
+    let jobs = vc_obs::analyze(&dump);
+
     let network = if p.switch("network") {
         let metrics = metrics.as_ref().ok_or_else(|| {
             ArgError::new("--network needs --metrics <FILE> (a snapshot written by --metrics-out)")
         })?;
         Some(network_summary(metrics))
+    } else {
+        None
+    };
+    let perf = if p.switch("perf") {
+        let metrics = metrics.as_ref().ok_or_else(|| {
+            ArgError::new("--perf needs --metrics <FILE> (a snapshot written by --metrics-out)")
+        })?;
+        Some(perf_summary(metrics))
     } else {
         None
     };
@@ -791,6 +968,9 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
         ];
         if let Some((net_json, _)) = &network {
             entries.push(("network".to_string(), net_json.clone()));
+        }
+        if let Some((perf_json, _)) = &perf {
+            entries.push(("perf".to_string(), perf_json.clone()));
         }
         return Ok(serde_json::Value::Object(entries).to_string());
     }
@@ -893,7 +1073,202 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
     if let Some((_, net_text)) = &network {
         out.push_str(net_text);
     }
+    if let Some((_, perf_text)) = &perf {
+        out.push_str(perf_text);
+    }
     Ok(out)
+}
+
+/// Load a perf JSON document for `profile`: either a full
+/// `report --perf --json` output (the `perf` key is extracted) or a bare
+/// perf object as saved from it.
+fn load_perf(path: &str) -> Result<serde_json::Value, ArgError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError::new(format!("{path}: I/O error: {e}")))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| ArgError::new(format!("{path}: {e}")))?;
+    let perf = doc.get("perf").cloned().unwrap_or(doc);
+    if perf.get("solver").is_none() {
+        return Err(ArgError::new(format!(
+            "{path}: not a perf document (no `solver` key; write one with \
+             `report --perf --json --metrics <FILE>`)"
+        )));
+    }
+    Ok(perf)
+}
+
+/// One gated metric: dotted path into a perf document plus how to gate it.
+struct PerfMetric {
+    name: &'static str,
+    /// Deterministic effort counters gate with `--max-regress-pct`;
+    /// wall-clock metrics gate with `--max-wall-regress-pct` (advisory
+    /// when that is unset).
+    wall: bool,
+}
+
+/// Read a gated metric out of a perf document.
+fn perf_metric(doc: &serde_json::Value, name: &str) -> u64 {
+    let mut cur = doc;
+    for seg in name.split('.') {
+        match cur.get(seg) {
+            Some(v) => cur = v,
+            None => return 0,
+        }
+    }
+    cur.as_u64().unwrap_or(0)
+}
+
+/// `affinity-vc profile` — diff two perf snapshots and fail (exit code 1)
+/// on regressions beyond the configured thresholds. Deterministic effort
+/// counters (solver solves/flows/iterations/links, DES events, phase
+/// call counts) gate with `--max-regress-pct` (default 10); wall-clock
+/// metrics are advisory unless `--max-wall-regress-pct` is given.
+pub fn profile(p: &Parsed) -> Result<String, ArgError> {
+    p.ensure_known(&[
+        "current",
+        "baseline",
+        "max-regress-pct",
+        "max-wall-regress-pct",
+        "json",
+    ])?;
+    let current = load_perf(p.required("current")?)?;
+    let baseline = load_perf(p.required("baseline")?)?;
+    let max_regress = p.num_or("max-regress-pct", 10.0f64)?;
+    let max_wall = p.num_or("max-wall-regress-pct", -1.0f64)?;
+    if max_regress < 0.0 {
+        return Err(ArgError::new("--max-regress-pct must be non-negative"));
+    }
+
+    let mut metrics: Vec<PerfMetric> = vec![
+        PerfMetric {
+            name: "solver.solves",
+            wall: false,
+        },
+        PerfMetric {
+            name: "solver.flows",
+            wall: false,
+        },
+        PerfMetric {
+            name: "solver.iterations",
+            wall: false,
+        },
+        PerfMetric {
+            name: "solver.links_touched",
+            wall: false,
+        },
+        PerfMetric {
+            name: "solver.completion_batches",
+            wall: false,
+        },
+        PerfMetric {
+            name: "des.events_processed",
+            wall: false,
+        },
+        PerfMetric {
+            name: "total_wall_us",
+            wall: true,
+        },
+        PerfMetric {
+            name: "solver.wall_us",
+            wall: true,
+        },
+    ];
+    // Phase call counts are deterministic too (one serve per event, one
+    // seed scan per placement solve, ...).
+    for ph in vc_obs::prof::PHASES {
+        metrics.push(PerfMetric {
+            name: Box::leak(format!("phases_calls.{}", ph.name).into_boxed_str()),
+            wall: false,
+        });
+    }
+    // `phases` is an array in the document; index it by name once.
+    let phase_calls = |doc: &serde_json::Value, name: &str| -> u64 {
+        doc.get("phases")
+            .and_then(serde_json::Value::as_array)
+            .and_then(|phases| {
+                phases
+                    .iter()
+                    .find(|ph| ph.get("phase").and_then(serde_json::Value::as_str) == Some(name))
+            })
+            .and_then(|ph| ph.get("calls"))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    let read = |doc: &serde_json::Value, name: &str| -> u64 {
+        match name.strip_prefix("phases_calls.") {
+            Some(phase) => phase_calls(doc, phase),
+            None => perf_metric(doc, name),
+        }
+    };
+
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut text = String::from("perf comparison (current vs baseline):\n");
+    for m in &metrics {
+        let cur = read(&current, m.name);
+        let base = read(&baseline, m.name);
+        if cur == 0 && base == 0 {
+            continue;
+        }
+        let delta_pct = if base > 0 {
+            100.0 * (cur as f64 - base as f64) / base as f64
+        } else {
+            f64::INFINITY
+        };
+        let threshold = if m.wall { max_wall } else { max_regress };
+        let gated = !m.wall || max_wall >= 0.0;
+        let status = if base == 0 {
+            "new" // no baseline: informational, never gates
+        } else if gated && delta_pct > threshold {
+            failures.push(format!(
+                "{} regressed {:.1}% ({} -> {}, limit {:.1}%)",
+                m.name, delta_pct, base, cur, threshold
+            ));
+            "FAIL"
+        } else if !gated {
+            "info"
+        } else {
+            "ok"
+        };
+        let shown_delta = if base > 0 { delta_pct } else { 0.0 };
+        text.push_str(&format!(
+            "  {:<28} {:>12} -> {:>12}  {:>+8.1}%  {}\n",
+            m.name, base, cur, shown_delta, status
+        ));
+        rows.push(serde_json::json!({
+            "metric": m.name,
+            "baseline": base,
+            "current": cur,
+            "delta_pct": shown_delta,
+            "wall": m.wall,
+            "status": status,
+        }));
+    }
+
+    if failures.is_empty() {
+        let verdict = format!(
+            "perf gate: PASS ({} metric(s) within {max_regress:.1}%)",
+            rows.len()
+        );
+        if p.switch("json") {
+            return Ok(serde_json::json!({
+                "verdict": "PASS",
+                "max_regress_pct": max_regress,
+                "metrics": rows,
+            })
+            .to_string());
+        }
+        Ok(format!("{text}{verdict}\n"))
+    } else {
+        // Returned as an error so the process exits non-zero — that is
+        // the CI gate. The verdict line stays greppable on stderr.
+        let mut msg = format!("perf gate: FAIL ({} regression(s))\n", failures.len());
+        for f in &failures {
+            msg.push_str(&format!("  {f}\n"));
+        }
+        msg.push_str(&text);
+        Err(ArgError::new(msg))
+    }
 }
 
 /// `affinity-vc derive-distance`

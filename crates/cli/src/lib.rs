@@ -34,6 +34,7 @@ pub fn run(argv: &[String]) -> Result<String, ArgError> {
         "simulate-queue" => commands::simulate_queue(&parsed),
         "simulate" | "run" => commands::simulate(&parsed),
         "report" => commands::report(&parsed),
+        "profile" => commands::profile(&parsed),
         "derive-distance" => commands::derive_distance(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(ArgError::new(format!(
@@ -56,6 +57,7 @@ COMMANDS:
     simulate-queue    run a request-queue simulation
     simulate          end-to-end: queue + placement + MapReduce (alias: run)
     report            analyse a recorded trace: critical path + placement audit
+    profile           compare two perf snapshots; fail on regressions
     derive-distance   derive a distance matrix from network latencies
     help              show this text
 
@@ -98,14 +100,28 @@ SIMULATE OPTIONS:
 OBSERVABILITY (simulate, simulate-job, simulate-queue):
     --trace-out <FILE>     write a Chrome/Perfetto trace-event timeline
     --metrics-out <FILE>   write a metrics snapshot (.csv for CSV, else JSON)
+    --prom-out <FILE>      write the snapshot in Prometheus text exposition
 
 REPORT OPTIONS:
-    --trace <FILE>         trace written by --trace-out (required)
+    --trace <FILE>         trace written by --trace-out (required, except
+                           `report --perf --metrics <FILE>` alone)
     --metrics <FILE>       metrics JSON written by --metrics-out (optional)
     --network              add the link-level hot-spot summary (needs --metrics):
                            per-link bytes/peak-utilization, rack-uplink peaks,
                            top congested links, shuffle locality split
+    --perf                 add the simulator self-profile (needs --metrics):
+                           phase wall-clock breakdown, fair-share solver
+                           effort, peak RSS
     --json                 emit the full report as JSON
+
+PROFILE OPTIONS:
+    --current <FILE>       perf JSON to check (from `report --perf --json`)
+    --baseline <FILE>      perf JSON to compare against
+    --max-regress-pct <F>  fail if a deterministic effort counter grows by
+                           more than this percentage        [default: 10]
+    --max-wall-regress-pct <F>  also gate wall-clock metrics (off when
+                           negative)                        [default: -1]
+    --json                 emit the comparison as JSON
 "
     .to_string()
 }
@@ -649,6 +665,106 @@ mod obs_cli_tests {
         let uplinks = &v["network"]["rack_uplinks"];
         assert!(uplinks["peak_util"].as_f64().unwrap() >= 0.0);
         assert!(!v["network"]["top_congested"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn simulate_prom_out_is_text_exposition() {
+        let (pp, pps) = tmp("affinity_vc_prom.prom");
+        call(&[
+            "simulate",
+            "--requests",
+            "3",
+            "--maps",
+            "4",
+            "--prom-out",
+            &pps,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&pp).unwrap();
+        std::fs::remove_file(&pp).ok();
+        // Prometheus text exposition 0.0.4: TYPE headers, sanitized
+        // names, one sample per line.
+        assert!(
+            text.contains("# TYPE des_events_processed counter"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE prof_phase_cloudsim_run_calls counter"));
+        assert!(text.contains("prof_phase_cloudsim_run_calls 1"));
+        assert!(text.contains("# TYPE prof_solver_solves counter"));
+        assert!(text.contains("# TYPE prof_rss_peak_kb gauge"));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            let (name, value) = (parts.next().unwrap(), parts.next().unwrap());
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric()
+                    || c == '_'
+                    || c == ':'
+                    || c == '{'
+                    || c == '}'
+                    || c == '"'
+                    || c == '='
+                    || c == '+'
+                    || c == '.'
+                    || c == '-'),
+                "unsanitized name {name}"
+            );
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "{line}");
+        }
+    }
+
+    #[test]
+    fn report_perf_phases_tile_total() {
+        // Acceptance check: the --perf breakdown must tile the total
+        // simulator wall-clock (within 5% — exact by construction here).
+        let (mp, mps) = tmp("affinity_vc_perf_tile_metrics.json");
+        call(&[
+            "simulate",
+            "--requests",
+            "5",
+            "--maps",
+            "6",
+            "--metrics-out",
+            &mps,
+        ])
+        .unwrap();
+        let out = call(&["report", "--perf", "--metrics", &mps, "--json"]).unwrap();
+        std::fs::remove_file(&mp).ok();
+        let v: Value = serde_json::from_str(&out).unwrap();
+        let perf = &v["perf"];
+        let total = perf["total_wall_us"].as_u64().unwrap();
+        assert!(total > 0, "{out}");
+        let sum: u64 = perf["breakdown"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|row| row["wall_us"].as_u64().unwrap())
+            .sum();
+        assert!(
+            (sum as f64 - total as f64).abs() <= total as f64 * 0.05,
+            "breakdown {sum} vs total {total}"
+        );
+        // Solver effort counters present and consistent.
+        let solver = &perf["solver"];
+        assert!(solver["solves"].as_u64().unwrap() > 0);
+        assert!(solver["flows"].as_u64().unwrap() >= solver["solves"].as_u64().unwrap());
+        assert!(solver["iterations"].as_u64().is_some());
+        assert!(solver["links_touched"].as_u64().is_some());
+        // Phase table covers the whole taxonomy actually exercised.
+        let phases: Vec<&str> = perf["phases"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p["phase"].as_str().unwrap())
+            .collect();
+        for required in ["cloudsim_run", "serve", "mr_service", "des_pop", "mr_job"] {
+            assert!(phases.contains(&required), "missing phase {required}");
+        }
+    }
+
+    #[test]
+    fn report_perf_requires_metrics() {
+        let err = call(&["report", "--perf"]).unwrap_err();
+        assert!(err.to_string().contains("--metrics"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Process-level tests: exit codes and stderr for failure paths, and
+//! degenerate-run behaviour of `report --network` / `report --perf`.
+//!
+//! These spawn the real `affinity-vc` binary so they exercise exactly
+//! what CI and shell scripts observe: exit status plus stream contents.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_affinity-vc"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary spawns")
+}
+
+fn tmp(name: &str) -> (PathBuf, String) {
+    let path = std::env::temp_dir().join(name);
+    let s = path.to_str().unwrap().to_string();
+    (path, s)
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn malformed_trace_file_exits_nonzero_with_context() {
+    let (path, path_s) = tmp("affinity_vc_malformed_trace.json");
+    std::fs::write(&path, "{ this is not json").unwrap();
+    let out = run(&["report", "--trace", &path_s]);
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success(), "malformed trace must fail");
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.starts_with("error:"), "{err}");
+    assert!(err.contains(&path_s), "error must name the file: {err}");
+}
+
+#[test]
+fn trace_with_wrong_shape_exits_nonzero() {
+    // Valid JSON, but not a chrome trace document.
+    let (path, path_s) = tmp("affinity_vc_wrongshape_trace.json");
+    std::fs::write(&path, r#"{"hello": [1, 2, 3]}"#).unwrap();
+    let out = run(&["report", "--trace", &path_s]);
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains(&path_s));
+}
+
+#[test]
+fn missing_trace_file_exits_nonzero() {
+    let out = run(&["report", "--trace", "/no/such/dir/trace.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("I/O error"), "{}", stderr(&out));
+}
+
+#[test]
+fn profile_gate_pass_exits_zero_and_fail_exits_one() {
+    // Produce two perf snapshots of different-sized runs; comparing a
+    // snapshot against itself passes, against the smaller one fails.
+    let (mp_a, mps_a) = tmp("affinity_vc_gate_small.json");
+    let (mp_b, mps_b) = tmp("affinity_vc_gate_big.json");
+    let (pp_a, pps_a) = tmp("affinity_vc_gate_small_perf.json");
+    let (pp_b, pps_b) = tmp("affinity_vc_gate_big_perf.json");
+
+    let sim = run(&[
+        "simulate",
+        "--requests",
+        "3",
+        "--maps",
+        "4",
+        "--metrics-out",
+        &mps_a,
+    ]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+    let sim = run(&[
+        "simulate",
+        "--requests",
+        "6",
+        "--maps",
+        "8",
+        "--metrics-out",
+        &mps_b,
+    ]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+
+    for (metrics, perf) in [(&mps_a, &pps_a), (&mps_b, &pps_b)] {
+        let rep = run(&["report", "--perf", "--metrics", metrics, "--json"]);
+        assert!(rep.status.success(), "{}", stderr(&rep));
+        std::fs::write(perf, stdout(&rep)).unwrap();
+    }
+
+    let pass = run(&["profile", "--current", &pps_a, "--baseline", &pps_a]);
+    assert_eq!(pass.status.code(), Some(0), "{}", stderr(&pass));
+    assert!(
+        stdout(&pass).contains("perf gate: PASS"),
+        "{}",
+        stdout(&pass)
+    );
+
+    let fail = run(&["profile", "--current", &pps_b, "--baseline", &pps_a]);
+    assert_eq!(fail.status.code(), Some(1), "self vs smaller must regress");
+    let err = stderr(&fail);
+    assert!(err.contains("perf gate: FAIL"), "{err}");
+    assert!(err.contains("solver.solves"), "{err}");
+
+    // A generous threshold turns the same comparison into a pass.
+    let relaxed = run(&[
+        "profile",
+        "--current",
+        &pps_b,
+        "--baseline",
+        &pps_a,
+        "--max-regress-pct",
+        "1000",
+    ]);
+    assert_eq!(relaxed.status.code(), Some(0), "{}", stderr(&relaxed));
+
+    for p in [&mp_a, &mp_b, &pp_a, &pp_b] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn profile_rejects_non_perf_document() {
+    let (path, path_s) = tmp("affinity_vc_not_perf.json");
+    std::fs::write(&path, r#"{"counters": {}}"#).unwrap();
+    let out = run(&["profile", "--current", &path_s, "--baseline", &path_s]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("not a perf document"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn report_network_and_perf_on_zero_flow_run() {
+    // `--service trace` runs no MapReduce jobs: zero flows, zero link
+    // traffic. Both summaries must render without panicking and report
+    // exact zeros.
+    let (tp, tps) = tmp("affinity_vc_deg_trace.json");
+    let (mp, mps) = tmp("affinity_vc_deg_metrics.json");
+    let sim = run(&[
+        "simulate",
+        "--requests",
+        "2",
+        "--service",
+        "trace",
+        "--trace-out",
+        &tps,
+        "--metrics-out",
+        &mps,
+    ]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+
+    let out = run(&[
+        "report",
+        "--trace",
+        &tps,
+        "--metrics",
+        &mps,
+        "--network",
+        "--perf",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert_eq!(v["network"]["links"].as_array().map(Vec::len), Some(0));
+    assert_eq!(
+        v["network"]["top_congested"].as_array().map(Vec::len),
+        Some(0)
+    );
+    assert_eq!(v["perf"]["solver"]["solves"].as_u64(), Some(0));
+    assert_eq!(v["perf"]["solver"]["flows"].as_u64(), Some(0));
+    // Zero-flow runs still tile: breakdown sums to the recorded total.
+    let total = v["perf"]["total_wall_us"].as_u64().unwrap();
+    let sum: u64 = v["perf"]["breakdown"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|row| row["wall_us"].as_u64().unwrap())
+        .sum();
+    assert_eq!(sum, total, "breakdown must tile the total exactly");
+
+    let text = run(&[
+        "report",
+        "--trace",
+        &tps,
+        "--metrics",
+        &mps,
+        "--network",
+        "--perf",
+    ]);
+    std::fs::remove_file(&tp).ok();
+    std::fs::remove_file(&mp).ok();
+    assert!(text.status.success(), "{}", stderr(&text));
+    let body = stdout(&text);
+    assert!(body.contains("network — 0 link(s) with traffic"), "{body}");
+    assert!(body.contains("0 solve(s)"), "{body}");
+}
+
+#[test]
+fn report_network_and_perf_on_single_node_placement() {
+    // One node: every map is node-local and shuffle crosses no link, so
+    // the network section is empty even though the solver did run.
+    let (tp, tps) = tmp("affinity_vc_deg1_trace.json");
+    let (mp, mps) = tmp("affinity_vc_deg1_metrics.json");
+    let sim = run(&[
+        "simulate",
+        "--requests",
+        "2",
+        "--racks",
+        "1",
+        "--nodes",
+        "1",
+        "--capacity",
+        "8",
+        "--maps",
+        "2",
+        "--trace-out",
+        &tps,
+        "--metrics-out",
+        &mps,
+    ]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+    let out = run(&[
+        "report",
+        "--trace",
+        &tps,
+        "--metrics",
+        &mps,
+        "--network",
+        "--perf",
+        "--json",
+    ]);
+    std::fs::remove_file(&tp).ok();
+    std::fs::remove_file(&mp).ok();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert_eq!(v["network"]["links"].as_array().map(Vec::len), Some(0));
+    assert!(v["perf"]["solver"]["solves"].as_u64().unwrap() > 0);
+    assert_eq!(v["perf"]["solver"]["links_touched"].as_u64(), Some(0));
+}

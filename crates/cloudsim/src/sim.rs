@@ -170,6 +170,9 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
 /// # Panics
 /// Panics if request ids are not dense `0..n` in arrival order.
 pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder) -> SimResult {
+    // Total simulator wall-clock: every other prof phase tiles inside
+    // this one (drops when the function returns).
+    let _run_timer = vc_obs::PhaseTimer::start(rec, vc_obs::prof::CLOUDSIM_RUN);
     let SimConfig {
         requests,
         mode,
@@ -223,6 +226,7 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
                     VirtualCluster::from_allocation(alloc, state.catalog(), state.topology_arc());
                 // Each job traces onto its request's private track range,
                 // offset to its real start time on the queue timeline.
+                let _t = vc_obs::PhaseTimer::start(rec, vc_obs::prof::MR_SERVICE);
                 let metrics = vc_mapreduce::simulate_job_traced(
                     &cluster,
                     job,
@@ -279,6 +283,7 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
                  engine: &mut Engine<Event>,
                  req_spans: &mut BTreeMap<u64, SpanId>,
                  rng: &mut StdRng| {
+        let _serve_timer = vc_obs::PhaseTimer::start(rec, vc_obs::prof::SERVE);
         // Drop refused requests from the head pre-emptively.
         queue.retain(|&idx| {
             if state.fits_capacity(&requests[idx].request) {
@@ -296,9 +301,12 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
                     match policy.place_recorded(&req.request, state, rng, rec, now.as_micros()) {
                         Ok(alloc) => {
                             queue.pop_front();
-                            state
-                                .allocate(&alloc)
-                                .expect("policy produced invalid allocation");
+                            {
+                                let _t = vc_obs::PhaseTimer::start(rec, vc_obs::prof::INDEX_COMMIT);
+                                state
+                                    .allocate(&alloc)
+                                    .expect("policy produced invalid allocation");
+                            }
                             let d = distance_with_center(alloc.matrix(), &topo, alloc.center());
                             // Batched mode records DC inside the placement
                             // layer; mirror it here for per-request policies.
@@ -355,9 +363,12 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
                 {
                     let idx = queue[*pos];
                     let req = &requests[idx];
-                    state
-                        .allocate(alloc)
-                        .expect("batch produced invalid allocation");
+                    {
+                        let _t = vc_obs::PhaseTimer::start(rec, vc_obs::prof::INDEX_COMMIT);
+                        state
+                            .allocate(alloc)
+                            .expect("batch produced invalid allocation");
+                    }
                     let d = distance_with_center(alloc.matrix(), &topo, alloc.center());
                     let (hold, job_runtime) = hold_time(req, alloc, state, now);
                     req_spans.insert(req.id, record_served(req, d, alloc, now, hold));
@@ -396,7 +407,12 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
     let mut last_time = SimTime::ZERO;
     let mut used_integral = 0f64; // slot-microseconds
     let mut peak_used = 0u64;
-    while let Some((now, event)) = engine.pop_traced(&rec) {
+    loop {
+        let popped = {
+            let _t = vc_obs::PhaseTimer::start(rec, vc_obs::prof::DES_POP);
+            engine.pop_traced(&rec)
+        };
+        let Some((now, event)) = popped else { break };
         used_integral += state.used().total() as f64 * (now - last_time).as_micros() as f64;
         last_time = now;
         match event {
@@ -405,7 +421,10 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
             }
             Event::Departure(id) => {
                 let alloc = live.remove(&id).expect("departure for unknown allocation");
-                state.release(&alloc).expect("release failed");
+                {
+                    let _t = vc_obs::PhaseTimer::start(rec, vc_obs::prof::INDEX_COMMIT);
+                    state.release(&alloc).expect("release failed");
+                }
                 if let Some(span) = req_spans.remove(&id) {
                     rec.span_end(span, now.as_micros());
                 }
@@ -430,6 +449,7 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
         );
         peak_used = peak_used.max(state.used().total());
     }
+    vc_obs::prof::record_peak_rss(rec);
     let horizon = last_time.as_micros() as f64;
     let avg_utilization = if horizon > 0.0 && capacity_total > 0 {
         used_integral / (horizon * capacity_total as f64)

@@ -383,6 +383,7 @@ impl<R: Recorder> Sim<'_, R> {
     }
 
     fn run(&mut self) -> JobMetrics {
+        let _job_timer = vc_obs::PhaseTimer::start(self.rec, vc_obs::prof::MR_JOB);
         self.schedule_reducers();
         self.fill_map_slots();
         self.resync_net();
@@ -490,6 +491,28 @@ impl<R: Recorder> Sim<'_, R> {
                 *bytes,
             );
         }
+
+        // Fair-share solver effort (always accumulated inside FlowNet;
+        // export is a no-op for Noop recorders). Everything except
+        // `wall_us` is deterministic for a given workload and seed, which
+        // is what makes these usable as CI regression-gate inputs.
+        let solver = self.net.solver_stats();
+        self.rec.counter_add("prof.solver.solves", solver.solves);
+        self.rec
+            .counter_add("prof.solver.flows", solver.flows_total);
+        self.rec
+            .counter_add("prof.solver.links_touched", solver.links_touched_total);
+        self.rec
+            .counter_add("prof.solver.iterations", solver.iterations_total);
+        self.rec
+            .counter_add("prof.solver.completion_batches", solver.completion_batches);
+        self.rec
+            .counter_add("prof.solver.batch_flows", solver.completion_batch_flows);
+        self.rec.counter_add("prof.solver.wall_us", solver.wall_us);
+        self.rec
+            .gauge_max("prof.solver.peak_flows", solver.peak_flows as f64);
+        self.rec
+            .gauge_max("prof.solver.peak_iterations", solver.peak_iterations as f64);
 
         JobMetrics {
             runtime,

@@ -75,6 +75,45 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// Profiling parity: a recorded run — phase timers, solver-effort
+    /// counters, the whole `prof.*` namespace — returns bit-identical
+    /// `JobMetrics` to the unrecorded run (the profiler only reads the
+    /// host clock; it never touches simulation state), and the `prof.*`
+    /// counters actually land in the snapshot.
+    #[test]
+    fn recorded_equals_unrecorded_including_prof(
+        cluster in cluster_strategy(),
+        job in job_strategy(),
+        seed in 0u64..16,
+    ) {
+        let params = SimParams {
+            seed,
+            straggler_prob: 0.2,
+            speculative_execution: true,
+            ..SimParams::default()
+        };
+        let plain = simulate_job(&cluster, &job, &params);
+        let rec = vc_obs::MemRecorder::new();
+        let traced = vc_mapreduce::simulate_job_traced(&cluster, &job, &params, &rec, 0, 0);
+        prop_assert_eq!(&plain, &traced);
+
+        let m = rec.metrics();
+        // The engine's own DES loop is timed as one mr_job phase call.
+        prop_assert_eq!(m.counters.get("prof.phase.mr_job.calls").copied(), Some(1));
+        prop_assert!(m.counters.contains_key("prof.phase.mr_job.wall_us"));
+        // Solver effort exported from the FlowNet accumulators: at least
+        // one rate recomputation happened (reducers always shuffle or
+        // commit), with a consistent flows-per-solve accounting.
+        let solves = m.counters.get("prof.solver.solves").copied().unwrap_or(0);
+        prop_assert!(solves > 0, "no solver effort exported");
+        prop_assert!(m.counters.contains_key("prof.solver.flows"));
+        prop_assert!(m.counters.contains_key("prof.solver.links_touched"));
+        prop_assert!(m.counters.contains_key("prof.solver.iterations"));
+        let peak = m.gauges.get("prof.solver.peak_flows").copied().unwrap_or(0.0);
+        let flows = m.counters["prof.solver.flows"];
+        prop_assert!(peak as u64 <= flows, "peak {peak} exceeds total {flows}");
+    }
+
     /// A faster network can reorder map completions and hence change
     /// which tasks the scheduler hands to which VM, so "uncontended is
     /// never slower" is false in the strictest sense — but it can only be

@@ -14,6 +14,11 @@ pub struct FairShare {
     /// froze it — the flow's *binding* (bottleneck) link. `None` for
     /// unconstrained (empty-path) flows.
     pub binding: Vec<Option<usize>>,
+    /// Progressive-filling rounds that ran before every flow froze — the
+    /// solver's iterations-to-fixpoint. 0 when no flow is constrained.
+    /// Purely diagnostic: the rates are computed identically whether or
+    /// not anyone reads this.
+    pub iterations: u64,
 }
 
 /// Compute the max-min fair rate for each flow.
@@ -66,6 +71,7 @@ pub fn max_min_fair_share_detailed(capacities: &[f64], flow_resources: &[Vec<usi
         }
     }
 
+    let mut iterations = 0u64;
     loop {
         // Count unfrozen flows per resource.
         let mut users = vec![0u32; nr];
@@ -87,8 +93,14 @@ pub fn max_min_fair_share_detailed(capacities: &[f64], flow_resources: &[Vec<usi
             }
         }
         let Some((r, share)) = bottleneck else {
-            return FairShare { rates, binding }; // every flow frozen
+            // every flow frozen
+            return FairShare {
+                rates,
+                binding,
+                iterations,
+            };
         };
+        iterations += 1;
         // Freeze all unfrozen flows through r at `share`.
         for f in 0..nf {
             if !frozen[f] && flow_resources[f].contains(&r) {
@@ -221,6 +233,22 @@ mod tests {
     }
 
     #[test]
+    fn iterations_count_freezing_rounds() {
+        // classic_three_flow_example freezes in two rounds: link 0 first
+        // (f0, f1), then link 1 (f2).
+        let fs = max_min_fair_share_detailed(&[10.0, 30.0], &[vec![0], vec![0, 1], vec![1]]);
+        assert_eq!(fs.iterations, 2);
+        // No constrained flows → zero rounds.
+        let fs = max_min_fair_share_detailed(&[10.0], &[vec![], vec![]]);
+        assert_eq!(fs.iterations, 0);
+        let fs = max_min_fair_share_detailed(&[10.0], &[]);
+        assert_eq!(fs.iterations, 0);
+        // One shared link, any number of flows → one round.
+        let fs = max_min_fair_share_detailed(&[90.0], &[vec![0], vec![0], vec![0]]);
+        assert_eq!(fs.iterations, 1);
+    }
+
+    #[test]
     fn detailed_matches_plain_variant() {
         let caps = [50.0, 20.0, 80.0];
         let flows = vec![vec![0, 1], vec![1], vec![0, 2], vec![2], vec![0, 1, 2]];
@@ -308,6 +336,18 @@ mod proptests {
         fn detailed_and_plain_agree((caps, flows) in instances()) {
             let fs = max_min_fair_share_detailed(&caps, &flows);
             prop_assert_eq!(fs.rates, max_min_fair_share(&caps, &flows));
+        }
+
+        /// Each progressive-filling round saturates a distinct resource
+        /// and freezes at least one flow, so iterations is bounded by
+        /// both counts — and is zero iff no flow is constrained.
+        #[test]
+        fn iterations_bounded_by_resources_and_flows((caps, flows) in instances()) {
+            let fs = max_min_fair_share_detailed(&caps, &flows);
+            let constrained = flows.iter().filter(|fr| !fr.is_empty()).count() as u64;
+            prop_assert!(fs.iterations <= caps.len() as u64);
+            prop_assert!(fs.iterations <= constrained);
+            prop_assert_eq!(fs.iterations == 0, constrained == 0);
         }
     }
 }

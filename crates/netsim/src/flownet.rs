@@ -103,6 +103,38 @@ pub struct FlowNet {
     /// Last emitted `(utilization, active, binding)` per link, to
     /// suppress unchanged samples.
     last_sample: Vec<(f64, u32, bool)>,
+    /// Always-on fair-share solver effort accumulators.
+    solver_stats: SolverStats,
+}
+
+/// Always-on effort counters for the max-min fair-share solver — the
+/// measured baseline ROADMAP item 5 (incremental fair share) must beat.
+/// The deterministic counters (everything except `wall_us`) depend only
+/// on the simulated workload, so they are stable across hosts and usable
+/// as CI regression-gate inputs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverStats {
+    /// Rate recomputations (one per flow start and per non-empty
+    /// completion batch).
+    pub solves: u64,
+    /// Σ flows in the solved set, over all solves.
+    pub flows_total: u64,
+    /// Σ distinct physical links carrying ≥ 1 flow, over all solves.
+    pub links_touched_total: u64,
+    /// Σ progressive-filling iterations to fixpoint, over all solves.
+    pub iterations_total: u64,
+    /// Largest flow set handed to a single solve.
+    pub peak_flows: u64,
+    /// Most iterations any single solve took.
+    pub peak_iterations: u64,
+    /// Non-empty completion batches drained by `take_completed`.
+    pub completion_batches: u64,
+    /// Σ flows completed across those batches (batch size integral).
+    pub completion_batch_flows: u64,
+    /// Host wall-clock µs spent in the solver, accumulated only while
+    /// sampling is on (i.e. under an enabled recorder) so unprofiled
+    /// runs never read the clock. Non-deterministic; never gate CI on it.
+    pub wall_us: u64,
 }
 
 impl FlowNet {
@@ -171,6 +203,7 @@ impl FlowNet {
             sampling: false,
             samples: Vec::new(),
             last_sample,
+            solver_stats: SolverStats::default(),
         }
     }
 
@@ -194,6 +227,11 @@ impl FlowNet {
     /// The always-on accumulators, parallel to [`links`](Self::links).
     pub fn link_stats(&self) -> &[LinkStats] {
         &self.stats
+    }
+
+    /// Fair-share solver effort accumulated so far (see [`SolverStats`]).
+    pub fn solver_stats(&self) -> &SolverStats {
+        &self.solver_stats
     }
 
     /// Enable or disable [`LinkSample`] emission at rate recomputations.
@@ -427,6 +465,8 @@ impl FlowNet {
             });
         }
         if !out.is_empty() {
+            self.solver_stats.completion_batches += 1;
+            self.solver_stats.completion_batch_flows += out.len() as u64;
             self.recompute_rates();
         }
         out
@@ -446,6 +486,9 @@ impl FlowNet {
     }
 
     fn recompute_rates(&mut self) {
+        // Wall timing reads the host clock only while sampling (enabled
+        // recorder); it never feeds back into simulated state.
+        let t0 = self.sampling.then(std::time::Instant::now);
         // Model each finite per-flow ceiling as a dedicated single-flow
         // resource *inside* the max-min computation, so bandwidth a
         // capped flow cannot use is redistributed to its competitors
@@ -473,13 +516,24 @@ impl FlowNet {
                 None => Bottleneck::Unconstrained,
             };
         }
-        self.observe_links();
+        let links_touched = self.observe_links();
+        let s = &mut self.solver_stats;
+        s.solves += 1;
+        s.flows_total += paths.len() as u64;
+        s.links_touched_total += links_touched;
+        s.iterations_total += fs.iterations;
+        s.peak_flows = s.peak_flows.max(paths.len() as u64);
+        s.peak_iterations = s.peak_iterations.max(fs.iterations);
+        if let Some(t0) = t0 {
+            s.wall_us += t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        }
     }
 
     /// Fold the post-recomputation link state into the always-on
     /// accumulators, and (when sampling) emit a [`LinkSample`] for every
-    /// link whose state changed.
-    fn observe_links(&mut self) {
+    /// link whose state changed. Returns the number of distinct physical
+    /// links carrying at least one flow (the solve's working set).
+    fn observe_links(&mut self) -> u64 {
         let physical = self.capacities.len();
         let mut rate_sum = vec![0.0f64; physical];
         let mut active = vec![0u32; physical];
@@ -494,6 +548,7 @@ impl FlowNet {
             }
         }
         let t_us = self.clock.as_micros();
+        let links_touched = active.iter().filter(|&&a| a > 0).count() as u64;
         for r in 0..physical {
             let util = rate_sum[r] / self.capacities[r];
             let s = &mut self.stats[r];
@@ -520,6 +575,7 @@ impl FlowNet {
                 }
             }
         }
+        links_touched
     }
 }
 
@@ -576,6 +632,39 @@ mod tests {
         // Each gets half the TX NIC -> ~2s.
         let last = done.last().unwrap().0;
         assert!((last.as_secs_f64() - 2.0001).abs() < 1e-2, "last = {last}");
+    }
+
+    #[test]
+    fn solver_stats_count_effort() {
+        let mut n = net();
+        assert_eq!(*n.solver_stats(), SolverStats::default());
+        // Two flows from node 0 sharing its TX NIC (rack-local paths:
+        // sender TX + receiver RX).
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 119_000_000, 1);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), 119_000_000, 2);
+        let s = n.solver_stats().clone();
+        assert_eq!(s.solves, 2);
+        assert_eq!(s.flows_total, 1 + 2);
+        // Solve 1 touches {node0.tx, node1.rx}; solve 2 adds node2.rx.
+        assert_eq!(s.links_touched_total, 2 + 3);
+        // Each solve froze everything through the shared TX in one round.
+        assert_eq!(s.iterations_total, 2);
+        assert_eq!(s.peak_flows, 2);
+        assert_eq!(s.peak_iterations, 1);
+        assert_eq!(s.completion_batches, 0);
+        // Sampling is off → the solver never read the host clock.
+        assert_eq!(s.wall_us, 0);
+
+        // Symmetric flows finish together: one batch of two, plus one
+        // final (empty-set) recomputation.
+        let done = run_to_completion(&mut n);
+        assert_eq!(done.len(), 2);
+        let s = n.solver_stats().clone();
+        assert_eq!(s.solves, 3);
+        assert_eq!(s.completion_batches, 1);
+        assert_eq!(s.completion_batch_flows, 2);
+        assert_eq!(s.flows_total, 3);
+        assert_eq!(s.links_touched_total, 5);
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod measure;
 mod params;
 
 pub use fairshare::{max_min_fair_share, max_min_fair_share_detailed, FairShare};
-pub use flownet::{CompletedFlow, FlowId, FlowNet};
+pub use flownet::{CompletedFlow, FlowId, FlowNet, SolverStats};
 pub use link::{Bottleneck, FlowClass, LinkClass, LinkInfo, LinkSample, LinkStats};
 pub use params::NetworkParams;

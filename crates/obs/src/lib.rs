@@ -28,12 +28,16 @@
 
 pub mod critical_path;
 pub mod metrics;
+pub mod prof;
+pub mod prom;
 pub mod recorder;
 pub mod sharded;
 pub mod trace;
 
 pub use critical_path::{analyze, Category, JobAttribution, Segment, TraceDump, CATEGORIES};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use prof::{Phase, PhaseTimer};
+pub use prom::to_prometheus;
 pub use recorder::{
     AttrValue, EventRecord, MemRecorder, NoopRecorder, Recorder, SpanId, SpanRecord, TrackId,
 };

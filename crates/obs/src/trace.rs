@@ -153,11 +153,18 @@ pub fn save_chrome_trace(rec: &MemRecorder, path: &str) -> std::io::Result<()> {
 }
 
 /// Write an already-built trace document to `path`.
+///
+/// Serialisation failures are surfaced as `InvalidData` I/O errors
+/// rather than panics, so callers (the CLI in particular) can report
+/// them with context instead of aborting.
 pub fn save_trace_value(doc: &Value, path: &str) -> std::io::Result<()> {
-    std::fs::write(
-        path,
-        serde_json::to_string_pretty(doc).expect("trace serializes"),
-    )
+    let text = serde_json::to_string_pretty(doc).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("trace does not serialize: {e}"),
+        )
+    })?;
+    std::fs::write(path, text)
 }
 
 #[cfg(test)]

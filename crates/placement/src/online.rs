@@ -336,6 +336,7 @@ pub fn place_recorded(
     }
 
     let (lower_bounds, global_min_lb) = if config.prune {
+        let _t = vc_obs::PhaseTimer::start(rec, vc_obs::prof::BOUND_PRECOMPUTE);
         let lbs: Vec<u64> = topo
             .node_ids()
             .map(|seed| seed_lower_bound(topo, index, remaining, request.counts(), seed))
@@ -359,6 +360,7 @@ pub fn place_recorded(
 
     let workers = config.parallelism.workers(n);
     let shared_best = AtomicU64::new(u64::MAX);
+    let scan_timer = vc_obs::PhaseTimer::start(rec, vc_obs::prof::SEED_SCAN);
     let (best, stats) = if workers <= 1 {
         scan_range(&ctx, 0, n, &shared_best, Some(rec), t_us, 0)
     } else {
@@ -402,6 +404,7 @@ pub fn place_recorded(
         }
         (best, stats)
     };
+    drop(scan_timer);
 
     let Some(win) = best else {
         return Err(PlacementError::Unsatisfiable {
