@@ -9,12 +9,16 @@
 //!   cross-rack flows on the paper topology: start, repeated
 //!   advance/recompute as flows complete, drain. Per-iteration time ÷ N
 //!   is the sustained flows/sec figure recorded in `BENCH_netsim.json`.
+//!   Runs the default incremental solver at 64/256/1024 concurrent
+//!   flows (1024 probes the scaling regime), plus a
+//!   `flownet_drain_batch/256` group that pins the reference full-set
+//!   solver for a like-for-like before/after comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use vc_des::SimTime;
-use vc_netsim::{max_min_fair_share, FlowNet, NetworkParams};
+use vc_netsim::{max_min_fair_share, FlowNet, NetworkParams, SolverMode};
 use vc_topology::{generate, DistanceTiers, NodeId, Topology};
 
 /// A synthetic solve instance: `n` flows, each crossing its source
@@ -52,8 +56,8 @@ fn paper_topo() -> Arc<Topology> {
 /// Start `n` flows spread across the topology and run the fluid model
 /// until all complete, exercising the advance → recompute → complete
 /// loop that dominates shuffle simulation.
-fn drain(topo: &Arc<Topology>, n: u64) -> usize {
-    let mut net = FlowNet::new(Arc::clone(topo), NetworkParams::default());
+fn drain(topo: &Arc<Topology>, n: u64, mode: SolverMode) -> usize {
+    let mut net = FlowNet::with_solver(Arc::clone(topo), NetworkParams::default(), mode);
     let nodes = 4 * 8;
     for i in 0..n {
         let src = NodeId((i * 7 % nodes) as u32);
@@ -75,15 +79,31 @@ fn bench_flownet_drain(c: &mut Criterion) {
     group
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(3));
-    for n in [64u64, 256] {
+    for n in [64u64, 256, 1024] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let completed = drain(&topo, n);
+                let completed = drain(&topo, n, SolverMode::Incremental);
                 assert_eq!(completed as u64, n, "every flow must complete");
                 black_box(completed)
             })
         });
     }
+    group.finish();
+
+    // Reference full-set solver at the headline concurrency, so the
+    // incremental speedup is measurable from one bench run.
+    let mut group = c.benchmark_group("flownet_drain_batch");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    let n = 256u64;
+    group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+        b.iter(|| {
+            let completed = drain(&topo, n, SolverMode::Batch);
+            assert_eq!(completed as u64, n, "every flow must complete");
+            black_box(completed)
+        })
+    });
     group.finish();
 }
 

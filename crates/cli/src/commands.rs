@@ -826,6 +826,7 @@ fn perf_summary(metrics: &serde_json::Value) -> (serde_json::Value, String) {
             "links_touched": links_touched,
             "completion_batches": snap_counter(metrics, "prof.solver.completion_batches"),
             "batch_flows": snap_counter(metrics, "prof.solver.batch_flows"),
+            "flows_skipped": snap_counter(metrics, "prof.solver.flows_skipped"),
             "wall_us": snap_counter(metrics, "prof.solver.wall_us"),
             "avg_flows_per_solve": avg_flows,
             "avg_iterations_per_solve": avg_iters,
@@ -852,9 +853,10 @@ fn perf_summary(metrics: &serde_json::Value) -> (serde_json::Value, String) {
             pct(*us),
         ));
     }
+    let flows_skipped = snap_counter(metrics, "prof.solver.flows_skipped");
     text.push_str(&format!(
         "  solver: {solves} solve(s), {flows} flow(s) (avg {avg_flows:.1}/solve, peak {peak_flows:.0}), \
-         {iterations} iteration(s), {links_touched} link(s) touched\n"
+         {iterations} iteration(s), {links_touched} link(s) touched, {flows_skipped} flow(s) skipped\n"
     ));
     text.push_str(&format!("  des: {events} event(s) processed\n"));
     if let Some(kb) = peak_rss_kb {

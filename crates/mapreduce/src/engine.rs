@@ -508,6 +508,8 @@ impl<R: Recorder> Sim<'_, R> {
             .counter_add("prof.solver.completion_batches", solver.completion_batches);
         self.rec
             .counter_add("prof.solver.batch_flows", solver.completion_batch_flows);
+        self.rec
+            .counter_add("prof.solver.flows_skipped", solver.flows_skipped_total);
         self.rec.counter_add("prof.solver.wall_us", solver.wall_us);
         self.rec
             .gauge_max("prof.solver.peak_flows", solver.peak_flows as f64);

@@ -1,6 +1,7 @@
 //! The flow network: active transfers and their fair-share rates.
 
 use crate::fairshare::max_min_fair_share_detailed;
+use crate::incremental::{IncrementalFairShare, SolveReport};
 use crate::link::{Bottleneck, FlowClass, LinkClass, LinkInfo, LinkSample, LinkStats};
 use crate::params::NetworkParams;
 use std::collections::BTreeMap;
@@ -11,6 +12,39 @@ use vc_topology::{NodeId, Topology};
 /// Identifier of an active (or completed) flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(u64);
+
+/// Which fair-share solver drives rate recomputations.
+///
+/// Both produce bit-identical rates, bindings, completion times, and
+/// link telemetry (asserted by the equality proptests); they differ
+/// only in effort. [`SolverStats`] working-set counters
+/// (`flows_total`, `links_touched_total`, `iterations_total`, peaks)
+/// count what each solver actually re-solved, so the two modes report
+/// different — honest — effort numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// Re-solve the entire flow set from scratch on every flow start
+    /// and completion batch. O(rounds × flows × path) per event plus
+    /// allocation churn; kept as the reference oracle.
+    Batch,
+    /// Delta-update: re-solve only the connected component of links
+    /// whose flow membership changed, with persistent per-link flow
+    /// sets and reusable scratch (see
+    /// [`IncrementalFairShare`](crate::IncrementalFairShare)).
+    #[default]
+    Incremental,
+}
+
+/// Σ flow rate over capacity, defined as 0 for idle links — including
+/// zero-capacity (failed) links, which can only carry rate-0 flows —
+/// so utilization telemetry never produces NaN or infinity.
+fn utilization(rate_sum: f64, capacity: f64) -> f64 {
+    if rate_sum > 0.0 && capacity > 0.0 {
+        rate_sum / capacity
+    } else {
+        0.0
+    }
+}
 
 #[derive(Debug)]
 struct Flow {
@@ -55,6 +89,32 @@ pub struct CompletedFlow {
     /// What bounded the flow's rate at the last recomputation before it
     /// finished — its bottleneck attribution.
     pub bottleneck: Bottleneck,
+}
+
+/// Point-in-time view of one active flow, from
+/// [`FlowNet::active_flow_snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSnapshot {
+    /// The flow's identifier.
+    pub id: FlowId,
+    /// Caller-supplied correlation token from `start_flow`.
+    pub token: u64,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Requested transfer size in bytes.
+    pub bytes: u64,
+    /// Bytes not yet drained by the fluid model.
+    pub remaining_bytes: f64,
+    /// Current max-min fair rate, bytes/µs (== MB/s).
+    pub rate: f64,
+    /// Traffic class the flow was tagged with.
+    pub class: FlowClass,
+    /// What froze the flow's rate at the latest recomputation.
+    pub bottleneck: Bottleneck,
+    /// When the flow was started.
+    pub started: SimTime,
 }
 
 const BYTE_EPS: f64 = 1e-6;
@@ -105,6 +165,20 @@ pub struct FlowNet {
     last_sample: Vec<(f64, u32, bool)>,
     /// Always-on fair-share solver effort accumulators.
     solver_stats: SolverStats,
+    /// Which solver runs rate recomputations (fixed at construction).
+    mode: SolverMode,
+    /// Incremental solver state (only maintained in incremental mode).
+    inc: IncrementalFairShare,
+    /// Links currently binding ≥ 1 flow, ascending (incremental mode:
+    /// lets every solve bump `binding_events` for *unchanged* binding
+    /// links without scanning all flows, matching batch accounting).
+    binding_links: Vec<usize>,
+    /// Per-link binding state backing `binding_links`.
+    binding_now: Vec<bool>,
+    /// `advance` scratch: per-link active-transfer windows, reused.
+    win_scratch: Vec<Vec<(f64, f64)>>,
+    /// Links with pending windows in `win_scratch` this advance.
+    win_touched: Vec<usize>,
 }
 
 /// Always-on effort counters for the max-min fair-share solver — the
@@ -131,6 +205,10 @@ pub struct SolverStats {
     pub completion_batches: u64,
     /// Σ flows completed across those batches (batch size integral).
     pub completion_batch_flows: u64,
+    /// Σ active flows a solve did *not* have to re-solve (outside the
+    /// changed connected component) — the incremental solver's saved
+    /// work. Always 0 in [`SolverMode::Batch`].
+    pub flows_skipped_total: u64,
     /// Host wall-clock µs spent in the solver, accumulated only while
     /// sampling is on (i.e. under an enabled recorder) so unprofiled
     /// runs never read the clock. Non-deterministic; never gate CI on it.
@@ -144,6 +222,16 @@ impl FlowNet {
     /// # Panics
     /// Panics if `params` fails [`NetworkParams::validate`].
     pub fn new(topo: Arc<Topology>, params: NetworkParams) -> Self {
+        Self::with_solver(topo, params, SolverMode::default())
+    }
+
+    /// [`new`](Self::new) with an explicit [`SolverMode`] — use
+    /// [`SolverMode::Batch`] to run the reference full-set solver (for
+    /// equivalence tests and before/after benchmarking).
+    ///
+    /// # Panics
+    /// Panics if `params` fails [`NetworkParams::validate`].
+    pub fn with_solver(topo: Arc<Topology>, params: NetworkParams, mode: SolverMode) -> Self {
         params.validate();
         let n = topo.num_nodes();
         let r = topo.num_racks();
@@ -191,6 +279,8 @@ impl FlowNet {
         }
         let stats = vec![LinkStats::default(); links.len()];
         let last_sample = vec![(0.0, 0, false); links.len()];
+        let inc = IncrementalFairShare::new(capacities.clone());
+        let nr = capacities.len();
         Self {
             topo,
             params,
@@ -204,7 +294,18 @@ impl FlowNet {
             samples: Vec::new(),
             last_sample,
             solver_stats: SolverStats::default(),
+            mode,
+            inc,
+            binding_links: Vec::new(),
+            binding_now: vec![false; nr],
+            win_scratch: vec![Vec::new(); nr],
+            win_touched: Vec::new(),
         }
+    }
+
+    /// The solver mode this net was constructed with.
+    pub fn solver_mode(&self) -> SolverMode {
+        self.mode
     }
 
     /// The simulated clock of the last [`advance`](Self::advance).
@@ -333,6 +434,13 @@ impl FlowNet {
         let (resources, latency_us, rate_cap) = self.path(src, dst);
         let id = self.next_id;
         self.next_id += 1;
+        let report = match self.mode {
+            SolverMode::Incremental => {
+                let t0 = self.sampling.then(std::time::Instant::now);
+                Some((self.inc.insert(id, &resources, rate_cap), t0))
+            }
+            SolverMode::Batch => None,
+        };
         self.flows.insert(
             id,
             Flow {
@@ -350,7 +458,10 @@ impl FlowNet {
                 bottleneck: Bottleneck::Unconstrained,
             },
         );
-        self.recompute_rates();
+        match report {
+            Some((report, t0)) => self.finish_incremental_solve(report, t0),
+            None => self.recompute_rates_batch(),
+        }
         FlowId(id)
     }
 
@@ -366,9 +477,12 @@ impl FlowNet {
         if elapsed == 0.0 {
             return;
         }
-        // (link, start, end) active-transfer windows within this interval,
-        // merged per link below into exact busy time.
-        let mut windows: Vec<(usize, f64, f64)> = Vec::new();
+        // Per-link (start, end) active-transfer windows within this
+        // interval, collected into reusable per-link scratch buffers and
+        // merged into exact busy time below. Flows iterate in ascending
+        // id order, so each link's window list is pushed in a
+        // deterministic order and the stable per-link sort reproduces
+        // the same merge arithmetic as a global (link, start) sort.
         for flow in self.flows.values_mut() {
             let lat = flow.remaining_latency_us.min(elapsed);
             flow.remaining_latency_us -= lat;
@@ -381,28 +495,30 @@ impl FlowNet {
                     let end = (lat + drained / flow.rate).min(elapsed);
                     for &r in &flow.resources {
                         self.stats[r].bytes_total += drained;
-                        windows.push((r, lat, end));
+                        if self.win_scratch[r].is_empty() {
+                            self.win_touched.push(r);
+                        }
+                        self.win_scratch[r].push((lat, end));
                     }
                 }
             }
         }
-        windows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-        let mut i = 0;
-        while i < windows.len() {
-            let link = windows[i].0;
-            let (mut s, mut e) = (windows[i].1, windows[i].2);
-            i += 1;
-            while i < windows.len() && windows[i].0 == link {
-                if windows[i].1 <= e {
-                    e = e.max(windows[i].2);
+        for &link in &self.win_touched {
+            let windows = &mut self.win_scratch[link];
+            windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (mut s, mut e) = windows[0];
+            for &(ws, we) in &windows[1..] {
+                if ws <= e {
+                    e = e.max(we);
                 } else {
                     self.stats[link].busy_us += e - s;
-                    (s, e) = (windows[i].1, windows[i].2);
+                    (s, e) = (ws, we);
                 }
-                i += 1;
             }
             self.stats[link].busy_us += e - s;
+            windows.clear();
         }
+        self.win_touched.clear();
     }
 
     /// Earliest predicted completion across all active flows at current
@@ -442,7 +558,7 @@ impl FlowNet {
             .map(|(&id, _)| id)
             .collect();
         let mut out = Vec::with_capacity(done.len());
-        for id in done {
+        for &id in &done {
             let flow = self.flows.remove(&id).expect("flow disappeared");
             for &r in &flow.resources {
                 let s = &mut self.stats[r];
@@ -467,25 +583,197 @@ impl FlowNet {
         if !out.is_empty() {
             self.solver_stats.completion_batches += 1;
             self.solver_stats.completion_batch_flows += out.len() as u64;
-            self.recompute_rates();
+            match self.mode {
+                SolverMode::Incremental => {
+                    let t0 = self.sampling.then(std::time::Instant::now);
+                    let report = self.inc.remove_batch(&done);
+                    self.finish_incremental_solve(report, t0);
+                }
+                SolverMode::Batch => self.recompute_rates_batch(),
+            }
         }
+        // A standard drive loop (`while let Some(t) = net.next_event_time()`)
+        // exits as soon as no completion can ever fire; starved flows
+        // (rate 0 with bytes remaining, e.g. routed over a zero-capacity
+        // failed link) would be silently lost at that point. Fail loudly
+        // in debug builds; release callers can poll `starved_flows()`.
+        debug_assert!(
+            self.flows.is_empty() || self.next_event_time().is_some(),
+            "FlowNet went idle with {} active flow(s) starved at rate 0 — no completion can \
+             ever fire; inspect FlowNet::starved_flows() ({:?}) and treat their links as failed",
+            self.flows.len(),
+            self.starved_flows(),
+        );
         out
+    }
+
+    /// Point-in-time view of every active flow, in flow-creation order —
+    /// the equality tests' window into solver state (rates compared
+    /// bit-for-bit via [`f64::to_bits`]).
+    pub fn active_flow_snapshot(&self) -> Vec<FlowSnapshot> {
+        self.flows
+            .iter()
+            .map(|(&id, f)| FlowSnapshot {
+                id: FlowId(id),
+                token: f.token,
+                src: f.src,
+                dst: f.dst,
+                bytes: f.bytes,
+                remaining_bytes: f.remaining_bytes,
+                rate: f.rate,
+                class: f.class,
+                bottleneck: f.bottleneck,
+                started: f.started,
+            })
+            .collect()
+    }
+
+    /// Flows that can never finish at current rates: bytes remaining
+    /// but a max-min rate of zero (every path crosses a saturated-by-
+    /// zero or zero-capacity link). They are *not* returned by
+    /// [`take_completed`](Self::take_completed) and produce no
+    /// [`next_event_time`](Self::next_event_time) entry; callers that
+    /// model link failures must check for them when the net goes idle.
+    pub fn starved_flows(&self) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .filter(|(_, f)| f.remaining_bytes > BYTE_EPS && f.rate <= 0.0)
+            .map(|(&id, _)| FlowId(id))
+            .collect()
     }
 
     /// Analytic lower bound for one isolated transfer: path latency plus
     /// bytes over the path's narrowest link. Useful for tests and quick
     /// estimates.
+    ///
+    /// A transfer that can never finish — nonzero bytes over a path with
+    /// a zero-capacity (failed) link — returns [`SimTime::MAX`] as the
+    /// "never" sentinel rather than overflowing; don't add an offset to
+    /// it (`SimTime` addition panics on overflow by design).
     pub fn isolated_transfer_time(&self, src: NodeId, dst: NodeId, bytes: u64) -> SimTime {
         let (resources, latency_us, rate_cap) = self.path(src, dst);
+        if bytes == 0 {
+            return SimTime::from_micros(latency_us);
+        }
         let bottleneck = resources
             .iter()
             .map(|&r| self.capacities[r])
             .fold(rate_cap, f64::min);
+        if bottleneck <= 0.0 {
+            return SimTime::MAX;
+        }
         let us = latency_us as f64 + bytes as f64 / bottleneck;
-        SimTime::from_micros(us.ceil() as u64)
+        if us >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime::from_micros(us.ceil() as u64)
+        }
     }
 
-    fn recompute_rates(&mut self) {
+    /// Apply one incremental solve's results: copy the re-solved
+    /// component's rates/bindings into the flow table, fold touched-link
+    /// telemetry, and account effort (including the flows the solver
+    /// *skipped* — everything outside the changed component).
+    fn finish_incremental_solve(&mut self, report: SolveReport, t0: Option<std::time::Instant>) {
+        {
+            // `changed()` is ascending by key, as is the flow table:
+            // apply the updates with one sorted merge pass instead of a
+            // tree lookup per re-solved flow.
+            let Self { inc, flows, .. } = self;
+            let mut changed = inc.changed().peekable();
+            if changed.peek().is_some() {
+                for (&id, f) in flows.iter_mut() {
+                    match changed.peek() {
+                        Some(&(key, rate, binding)) if key == id => {
+                            f.rate = rate;
+                            f.bottleneck = binding;
+                            changed.next();
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                debug_assert!(changed.peek().is_none(), "solved flow missing from table");
+            }
+        }
+        self.observe_touched_links();
+        let active = self.flows.len() as u64;
+        let s = &mut self.solver_stats;
+        s.solves += 1;
+        s.flows_total += report.flows_solved;
+        s.links_touched_total += report.links_solved;
+        s.iterations_total += report.iterations;
+        s.peak_flows = s.peak_flows.max(report.flows_solved);
+        s.peak_iterations = s.peak_iterations.max(report.iterations);
+        s.flows_skipped_total += active - report.flows_solved;
+        if let Some(t0) = t0 {
+            s.wall_us += t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        }
+    }
+
+    /// Incremental-mode counterpart of [`observe_links`](Self::observe_links):
+    /// fold post-solve state for only the links the solve touched. Links
+    /// outside the changed component cannot have changed state (their
+    /// flows were not re-solved), so skipping them preserves bit-identical
+    /// peaks, samples, and binding events — except `binding_events`,
+    /// which batch mode bumps for *every* currently-binding link each
+    /// solve; `binding_links` tracks that set persistently so we can do
+    /// the same without a full scan.
+    fn observe_touched_links(&mut self) {
+        let t_us = self.clock.as_micros();
+        let Self {
+            inc,
+            stats,
+            capacities,
+            binding_now,
+            binding_links,
+            sampling,
+            samples,
+            last_sample,
+            ..
+        } = self;
+        for &r in inc.touched_links() {
+            let (rate_sum, active, binding) = inc.observe_link(r);
+            let util = utilization(rate_sum, capacities[r]);
+            let s = &mut stats[r];
+            if util > s.peak_utilization {
+                s.peak_utilization = util;
+            }
+            if active > s.peak_active_flows {
+                s.peak_active_flows = active;
+            }
+            if binding != binding_now[r] {
+                binding_now[r] = binding;
+                if binding {
+                    let pos = binding_links.binary_search(&r).unwrap_err();
+                    binding_links.insert(pos, r);
+                } else {
+                    let pos = binding_links
+                        .binary_search(&r)
+                        .expect("unbinding unknown link");
+                    binding_links.remove(pos);
+                }
+            }
+            if *sampling {
+                let state = (util, active, binding);
+                if state != last_sample[r] {
+                    last_sample[r] = state;
+                    samples.push(LinkSample {
+                        t_us,
+                        link: r,
+                        utilization: util,
+                        active_flows: active,
+                        binding,
+                    });
+                }
+            }
+        }
+        for &r in binding_links.iter() {
+            stats[r].binding_events += 1;
+        }
+    }
+
+    fn recompute_rates_batch(&mut self) {
         // Wall timing reads the host clock only while sampling (enabled
         // recorder); it never feeds back into simulated state.
         let t0 = self.sampling.then(std::time::Instant::now);
@@ -550,7 +838,7 @@ impl FlowNet {
         let t_us = self.clock.as_micros();
         let links_touched = active.iter().filter(|&&a| a > 0).count() as u64;
         for r in 0..physical {
-            let util = rate_sum[r] / self.capacities[r];
+            let util = utilization(rate_sum[r], self.capacities[r]);
             let s = &mut self.stats[r];
             if util > s.peak_utilization {
                 s.peak_utilization = util;
@@ -1024,6 +1312,91 @@ mod tests {
             run_to_completion(&mut n)
         };
         assert_eq!(mk(false), mk(true));
+    }
+
+    /// 2 racks × 3 nodes with a dead (failed) rack uplink.
+    fn net_dead_uplink() -> FlowNet {
+        let topo = Arc::new(generate::uniform(2, 3, DistanceTiers::default()));
+        let params = NetworkParams {
+            rack_uplink_mbps: 0.0,
+            ..NetworkParams::default()
+        };
+        FlowNet::new(topo, params)
+    }
+
+    #[test]
+    fn starved_flows_are_surfaced_not_lost() {
+        let mut n = net_dead_uplink();
+        // Cross-rack flow over the dead uplink: max-min rate 0.
+        let starved = n.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 1_000_000, 7);
+        // Intra-rack flow is unaffected by the dead uplink.
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, 8);
+        assert_eq!(n.starved_flows(), vec![starved]);
+        // The healthy flow still schedules a wake-up…
+        assert!(n.next_event_time().is_some());
+        // …but a net with only the starved flow can never fire an event.
+        let mut probe = net_dead_uplink();
+        probe.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 1_000_000, 7);
+        assert_eq!(probe.next_event_time(), None);
+        assert_eq!(probe.starved_flows().len(), 1);
+        // Zero-byte flows only pay latency and are *not* starved.
+        let mut lat = net_dead_uplink();
+        lat.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 0, 9);
+        assert!(lat.starved_flows().is_empty());
+        assert!(lat.next_event_time().is_some());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "starved at rate 0")]
+    fn going_idle_with_starved_flows_panics_in_debug() {
+        let mut n = net_dead_uplink();
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 1_000_000, 7);
+        // Nothing completes and the net is idle with a live flow: the
+        // debug assertion in take_completed must fire rather than let a
+        // drive loop exit with the flow silently lost.
+        n.take_completed(SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn isolated_transfer_time_over_dead_link_is_never() {
+        let n = net_dead_uplink();
+        // Nonzero bytes across the dead uplink: "never", not an overflow.
+        let t = n.isolated_transfer_time(NodeId(0), NodeId(3), 1);
+        assert_eq!(t, SimTime::MAX);
+        // Zero bytes still just pay the path latency (no 0/0 NaN).
+        let t0 = n.isolated_transfer_time(NodeId(0), NodeId(3), 0);
+        assert_eq!(t0, SimTime::from_micros(300));
+        // Intra-rack paths avoid the dead link entirely.
+        let t1 = n.isolated_transfer_time(NodeId(0), NodeId(1), 119_000_000);
+        assert!((t1.as_secs_f64() - 1.0001).abs() < 1e-3, "t1 = {t1}");
+    }
+
+    #[test]
+    fn zero_capacity_links_report_finite_utilization() {
+        for mode in [SolverMode::Batch, SolverMode::Incremental] {
+            let topo = Arc::new(generate::uniform(2, 3, DistanceTiers::default()));
+            let params = NetworkParams {
+                rack_uplink_mbps: 0.0,
+                ..NetworkParams::default()
+            };
+            let mut n = FlowNet::with_solver(topo, params, mode);
+            n.set_sampling(true);
+            // One starved cross-rack flow and one healthy intra-rack flow.
+            n.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 1_000_000, 0);
+            n.start_flow(SimTime::ZERO, NodeId(1), NodeId(2), 1_000_000, 1);
+            for s in &n.drain_link_samples() {
+                assert!(
+                    s.utilization.is_finite(),
+                    "{mode:?}: non-finite utilization leaked into samples: {s:?}"
+                );
+            }
+            let rack_up = n.links().iter().position(|l| l.name == "rack0.up").unwrap();
+            let dead = &n.link_stats()[rack_up];
+            // rate 0 over capacity 0 is reported as 0, not NaN/inf.
+            assert_eq!(dead.peak_utilization, 0.0, "{mode:?}");
+            assert_eq!(dead.peak_active_flows, 1, "{mode:?}");
+        }
     }
 
     #[test]

@@ -75,16 +75,33 @@ impl NetworkParams {
         }
     }
 
-    /// Validate that all capacities are positive and finite.
+    /// Validate the rate parameters.
+    ///
+    /// Shared link capacities (`nic_mbps`, `rack_uplink_mbps`,
+    /// `cloud_uplink_mbps`) may be **zero** — a zero-capacity link models
+    /// a failed or partitioned link (ROADMAP item 3): flows routed over
+    /// it get rate 0 and *starve* (see `FlowNet::starved_flows`) rather
+    /// than being rejected at construction. Per-flow ceilings must stay
+    /// strictly positive: they describe what one connection can do at a
+    /// distance tier, not link health, and a zero ceiling would starve
+    /// every flow of that tier with no link to blame it on.
     ///
     /// # Panics
-    /// Panics on non-positive or non-finite rates.
+    /// Panics on non-finite or negative capacities, and on non-positive
+    /// or non-finite per-flow ceilings.
     pub fn validate(&self) {
         for (name, v) in [
-            ("intra_node_mbps", self.intra_node_mbps),
             ("nic_mbps", self.nic_mbps),
             ("rack_uplink_mbps", self.rack_uplink_mbps),
             ("cloud_uplink_mbps", self.cloud_uplink_mbps),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and non-negative, got {v}"
+            );
+        }
+        for (name, v) in [
+            ("intra_node_mbps", self.intra_node_mbps),
             ("same_rack_flow_mbps", self.same_rack_flow_mbps),
             ("cross_rack_flow_mbps", self.cross_rack_flow_mbps),
             ("cross_cloud_flow_mbps", self.cross_cloud_flow_mbps),
@@ -110,10 +127,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nic_mbps must be positive")]
-    fn zero_rate_rejected() {
+    #[should_panic(expected = "cross_rack_flow_mbps must be positive")]
+    fn zero_flow_ceiling_rejected() {
         let p = NetworkParams {
-            nic_mbps: 0.0,
+            cross_rack_flow_mbps: 0.0,
+            ..NetworkParams::default()
+        };
+        p.validate();
+    }
+
+    #[test]
+    fn zero_link_capacity_models_failure() {
+        // A dead uplink is a legal topology state (failed link) — flows
+        // over it starve instead of the params being rejected.
+        let p = NetworkParams {
+            rack_uplink_mbps: 0.0,
+            ..NetworkParams::default()
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "nic_mbps must be finite and non-negative")]
+    fn negative_link_capacity_rejected() {
+        let p = NetworkParams {
+            nic_mbps: -1.0,
             ..NetworkParams::default()
         };
         p.validate();

@@ -1,0 +1,280 @@
+//! Batch-vs-incremental solver equivalence under random interleavings.
+//!
+//! Drives two [`FlowNet`]s — one per [`SolverMode`] — through identical
+//! random sequences of `start_flow` / `advance` / `take_completed` and
+//! asserts they are observably indistinguishable at every step:
+//! bit-identical rates, bindings, completion times, link telemetry
+//! (byte integrals, busy time, peaks, binding events), and utilization
+//! samples. Also asserts the incremental solver's effort counters are
+//! deterministic across reruns of the same sequence (they feed the
+//! `prof.solver.*` CI regression gate).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vc_des::SimTime;
+use vc_netsim::{FlowClass, FlowNet, NetworkParams, SolverMode, SolverStats};
+use vc_topology::{generate, DistanceTiers, NodeId};
+
+/// One scripted step: advance time by `dt_us`, then either start a flow
+/// or drain completions.
+#[derive(Debug, Clone)]
+enum Op {
+    Start {
+        src: u32,
+        dst: u32,
+        kilobytes: u64,
+        class_sel: u8,
+    },
+    Take {
+        dt_us: u64,
+    },
+    /// Drain exactly at the net's own predicted next event (if any).
+    TakeAtNext,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            0u8..6,
+            0u32..64,
+            0u32..64,
+            1u64..5_000,
+            0u64..400_000,
+            0u8..4,
+        ),
+        1usize..40,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, src, dst, kilobytes, dt_us, class_sel)| match kind {
+                // Bias towards starts so nets actually fill up.
+                0..=2 => Op::Start {
+                    src,
+                    dst,
+                    kilobytes,
+                    class_sel,
+                },
+                3..=4 => Op::Take { dt_us },
+                _ => Op::TakeAtNext,
+            })
+            .collect()
+    })
+}
+
+fn classes(sel: u8) -> FlowClass {
+    match sel {
+        0 => FlowClass::MapRead,
+        1 => FlowClass::Shuffle,
+        2 => FlowClass::OutputWrite,
+        _ => FlowClass::Other,
+    }
+}
+
+/// A paper-shaped 2-rack topology; `dead_uplink` zeroes rack uplinks to
+/// exercise starvation paths in both solvers.
+fn mk_net(mode: SolverMode, dead_uplink: bool) -> FlowNet {
+    let topo = Arc::new(generate::uniform(2, 4, DistanceTiers::default()));
+    let params = NetworkParams {
+        rack_uplink_mbps: if dead_uplink { 0.0 } else { 60.0 },
+        ..NetworkParams::default()
+    };
+    let mut net = FlowNet::with_solver(topo, params, mode);
+    net.set_sampling(true);
+    net
+}
+
+/// Everything observable about a net, with rates as raw bits so the
+/// comparison is exact (not `f64` partial-eq semantics).
+fn observe(net: &FlowNet) -> impl std::fmt::Debug + PartialEq {
+    let flows: Vec<_> = net
+        .active_flow_snapshot()
+        .into_iter()
+        .map(|f| {
+            (
+                f.id,
+                f.token,
+                f.rate.to_bits(),
+                f.remaining_bytes.to_bits(),
+                f.bottleneck,
+            )
+        })
+        .collect();
+    let links: Vec<_> = net
+        .link_stats()
+        .iter()
+        .map(|s| {
+            (
+                s.bytes_total.to_bits(),
+                s.busy_us.to_bits(),
+                s.peak_utilization.to_bits(),
+                s.peak_active_flows,
+                s.binding_events,
+                s.map_read_bytes,
+                s.shuffle_bytes,
+                s.output_bytes,
+                s.other_bytes,
+            )
+        })
+        .collect();
+    (flows, links, net.next_event_time(), net.starved_flows())
+}
+
+/// Marker recorded when a take tripped the idle-with-starved-flows
+/// debug assertion (an expected outcome on dead-link topologies — and
+/// one that must occur at identical steps in both solver modes).
+const STARVATION_PANIC: u64 = u64::MAX;
+
+/// `take_completed` with the starvation debug assertion folded into the
+/// observable outcome: the assertion runs *after* all state mutation,
+/// so the net stays consistent and the panic becomes a comparable
+/// marker. Any other panic is re-raised.
+fn take(net: &mut FlowNet, now: SimTime) -> Vec<u64> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.take_completed(now))) {
+        Ok(done) => done.into_iter().map(|c| c.token).collect(),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            assert!(
+                msg.contains("starved at rate 0"),
+                "unexpected panic in take_completed: {msg}"
+            );
+            vec![STARVATION_PANIC]
+        }
+    }
+}
+
+/// Run the scripted sequence against one net, returning each take's
+/// completions (or starvation-panic marker). The caller compares these
+/// (and per-step observations) across solver modes.
+fn drive(
+    net: &mut FlowNet,
+    script: &[Op],
+    observations: &mut Vec<String>,
+) -> Vec<(SimTime, Vec<u64>)> {
+    let nodes = 8u32;
+    let mut now = SimTime::ZERO;
+    let mut token = 0u64;
+    let mut takes = Vec::new();
+    for op in script {
+        match op {
+            Op::Start {
+                src,
+                dst,
+                kilobytes,
+                class_sel,
+            } => {
+                token += 1;
+                net.start_flow_classed(
+                    now,
+                    NodeId(src % nodes),
+                    NodeId(dst % nodes),
+                    kilobytes * 1_000,
+                    token,
+                    classes(*class_sel),
+                );
+            }
+            Op::Take { dt_us } => {
+                now += SimTime::from_micros(*dt_us);
+                takes.push((now, take(net, now)));
+            }
+            Op::TakeAtNext => {
+                if let Some(t) = net.next_event_time() {
+                    now = t;
+                    takes.push((now, take(net, now)));
+                }
+            }
+        }
+        observations.push(format!("{:?}", observe(net)));
+    }
+    // Drain whatever is drainable so completion times to the very end
+    // are part of the comparison.
+    while let Some(t) = net.next_event_time() {
+        now = t;
+        takes.push((now, take(net, now)));
+        observations.push(format!("{:?}", observe(net)));
+    }
+    takes
+}
+
+/// `SolverStats` with the host-wall-clock field cleared: everything else
+/// must be deterministic.
+fn deterministic(stats: &SolverStats) -> SolverStats {
+    SolverStats {
+        wall_us: 0,
+        ..stats.clone()
+    }
+}
+
+proptest! {
+    /// Batch and incremental nets are observably indistinguishable at
+    /// every step of a random interleaving: rates, bindings, remaining
+    /// bytes (all bit-exact), link-stat integrals, peaks, binding
+    /// events, class-byte attribution, completion batches and their
+    /// times, utilization samples, and starvation reporting.
+    #[test]
+    fn interleavings_indistinguishable(script in ops()) {
+        let mut batch = mk_net(SolverMode::Batch, false);
+        let mut inc = mk_net(SolverMode::Incremental, false);
+        let mut obs_batch = Vec::new();
+        let mut obs_inc = Vec::new();
+        let takes_batch = drive(&mut batch, &script, &mut obs_batch);
+        let takes_inc = drive(&mut inc, &script, &mut obs_inc);
+        prop_assert_eq!(takes_batch, takes_inc);
+        for (step, (b, i)) in obs_batch.iter().zip(&obs_inc).enumerate() {
+            prop_assert_eq!(b, i, "observation diverged at step {}", step);
+        }
+        prop_assert_eq!(obs_batch.len(), obs_inc.len());
+        prop_assert_eq!(batch.drain_link_samples(), inc.drain_link_samples());
+        // Effort counters differ by design (that is the point of the
+        // incremental solver), but the *workload* accounting must agree.
+        let sb = batch.solver_stats();
+        let si = inc.solver_stats();
+        prop_assert_eq!(sb.solves, si.solves);
+        prop_assert_eq!(sb.completion_batches, si.completion_batches);
+        prop_assert_eq!(sb.completion_batch_flows, si.completion_batch_flows);
+        prop_assert_eq!(sb.flows_skipped_total, 0, "batch mode never skips");
+        prop_assert!(si.flows_total <= sb.flows_total);
+        prop_assert!(si.iterations_total <= sb.iterations_total);
+        prop_assert!(si.links_touched_total <= sb.links_touched_total);
+        prop_assert_eq!(
+            si.flows_total + si.flows_skipped_total,
+            sb.flows_total,
+            "skipped + solved must account for every active flow per solve"
+        );
+    }
+
+    /// Same equivalence over a topology with failed (zero-capacity)
+    /// rack uplinks: cross-rack flows starve identically in both modes
+    /// and the nets still agree on everything observable.
+    #[test]
+    fn interleavings_indistinguishable_with_dead_links(script in ops()) {
+        let mut batch = mk_net(SolverMode::Batch, true);
+        let mut inc = mk_net(SolverMode::Incremental, true);
+        let mut obs_batch = Vec::new();
+        let mut obs_inc = Vec::new();
+        let takes_batch = drive(&mut batch, &script, &mut obs_batch);
+        let takes_inc = drive(&mut inc, &script, &mut obs_inc);
+        prop_assert_eq!(takes_batch, takes_inc);
+        for (step, (b, i)) in obs_batch.iter().zip(&obs_inc).enumerate() {
+            prop_assert_eq!(b, i, "observation diverged at step {}", step);
+        }
+        prop_assert_eq!(batch.drain_link_samples(), inc.drain_link_samples());
+    }
+
+    /// The incremental solver's effort counters are deterministic: the
+    /// same script yields identical `SolverStats` (wall time aside) on
+    /// every rerun — the contract the `vc profile` CI gate relies on.
+    #[test]
+    fn incremental_effort_deterministic(script in ops()) {
+        let run = || {
+            let mut net = mk_net(SolverMode::Incremental, false);
+            let mut obs = Vec::new();
+            drive(&mut net, &script, &mut obs);
+            deterministic(net.solver_stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
