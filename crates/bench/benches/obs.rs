@@ -21,7 +21,7 @@ use vc_bench::scenarios;
 use vc_des::{Engine, SimTime};
 use vc_mapreduce::engine::SimParams;
 use vc_mapreduce::{simulate_job, simulate_job_traced, JobConfig};
-use vc_obs::{MemRecorder, NoopRecorder};
+use vc_obs::{MemRecorder, NoopRecorder, StreamingRecorder};
 
 /// Result of one paired comparison.
 struct Paired {
@@ -152,6 +152,31 @@ fn bench_job_overhead(pairs: usize, batch: u32) {
         },
     );
     report("obs_job", "mem_recorder", &mem);
+
+    // Streaming to `io::sink()` isolates the serialization cost of the
+    // bounded-memory recorder: every op is JSON-encoded and buffered,
+    // but no bytes hit a real device — the steady-state CPU price of
+    // `--stream-out` with a fast disk.
+    let stream = run_paired(
+        pairs,
+        batch,
+        || {
+            black_box(simulate_job(black_box(compact), black_box(&job), &params));
+        },
+        || {
+            let rec = StreamingRecorder::new(std::io::sink());
+            black_box(simulate_job_traced(
+                black_box(compact),
+                black_box(&job),
+                &params,
+                &rec,
+                0,
+                0,
+            ));
+            rec.finish().expect("sink cannot fail");
+        },
+    );
+    report("obs_job", "stream_recorder", &stream);
 }
 
 #[derive(Clone, Copy)]

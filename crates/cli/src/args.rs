@@ -27,7 +27,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Boolean switches that take no value.
-const SWITCHES: &[&str] = &["json", "speculative", "network", "perf"];
+const SWITCHES: &[&str] = &["json", "speculative", "network", "perf", "timeline"];
 
 /// Parsed `--key value` pairs and switches.
 #[derive(Debug, Clone, Default)]

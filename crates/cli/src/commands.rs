@@ -3,6 +3,8 @@
 use crate::args::{ArgError, Parsed};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
 use std::sync::Arc;
 use vc_cloudsim::sim::{PolicyMode, ServiceModel, SimConfig};
 use vc_cloudsim::{ArrivalProcess, ServiceTime};
@@ -12,7 +14,10 @@ use vc_mapreduce::{JobConfig, VirtualCluster, Workload};
 use vc_model::workload::RequestProfile;
 use vc_model::{ClusterState, Request, VmCatalog};
 use vc_netsim::NetworkParams;
-use vc_obs::{MemRecorder, MetricsSnapshot, Recorder, ShardedRecorder, TraceDump};
+use vc_obs::{
+    MemRecorder, MergedTrace, MetricsSnapshot, Recorder, ShardedRecorder, StreamingRecorder,
+    TimeSeriesSet, TraceDump, TS_PREFIX,
+};
 use vc_placement::distance::distance_with_center;
 use vc_placement::global::Admission;
 use vc_placement::{baselines, exact, ilp, online, PlacementPolicy};
@@ -75,22 +80,46 @@ fn workload_by_name(name: &str) -> Result<Workload, ArgError> {
     })
 }
 
-/// Whether `--trace-out`, `--metrics-out` or `--prom-out` asks for a
-/// recorded run.
+/// Whether `--trace-out`, `--metrics-out`, `--prom-out`, `--series-out`
+/// or `--stream-out` asks for a recorded run.
 fn wants_observability(p: &Parsed) -> bool {
     !p.str_or("trace-out", "").is_empty()
         || !p.str_or("metrics-out", "").is_empty()
         || !p.str_or("prom-out", "").is_empty()
+        || !p.str_or("series-out", "").is_empty()
+        || !p.str_or("stream-out", "").is_empty()
+}
+
+/// The `ts.*` sampling cadence from `--window-us` (0/absent = off).
+/// `--series-out` is meaningless without one, so that combination is
+/// rejected here.
+fn ts_window(p: &Parsed) -> Result<Option<u64>, ArgError> {
+    let w = p.num_or("window-us", 0u64)?;
+    if w == 0 && !p.str_or("series-out", "").is_empty() {
+        return Err(ArgError::new(
+            "--series-out needs --window-us <N> to define the sampling cadence",
+        ));
+    }
+    Ok((w > 0).then_some(w))
 }
 
 /// The recorder a command records into: the single-threaded
 /// [`MemRecorder`] normally, the thread-safe [`ShardedRecorder`] when
 /// `--placement-threads` enables a parallel seed scan — scan workers then
 /// record per-thread chunk telemetry instead of tripping the
-/// `placement.recorder_unsync` fallback.
+/// `placement.recorder_unsync` fallback — and the bounded-memory
+/// [`StreamingRecorder`] when `--stream-out` spills the event stream to
+/// a JSONL file as it happens. Stream artefacts (trace/metrics/series)
+/// are produced by replaying the flushed file, so what you export is
+/// exactly what a later `report --stream` will see.
 enum CliRecorder {
     Mem(MemRecorder),
     Sharded(ShardedRecorder),
+    Stream {
+        rec: Option<StreamingRecorder<BufWriter<File>>>,
+        path: String,
+        merged: Option<MergedTrace>,
+    },
 }
 
 impl CliRecorder {
@@ -102,51 +131,127 @@ impl CliRecorder {
         }
     }
 
+    /// Select the recorder for a run: `--stream-out` wins (it is
+    /// thread-safe, so it also serves parallel seed scans), otherwise
+    /// thread count decides.
+    fn build(p: &Parsed, threads: usize) -> Result<Self, ArgError> {
+        match p.str_or("stream-out", "") {
+            "" => Ok(Self::for_threads(threads)),
+            path => {
+                let file = File::create(path)
+                    .map_err(|e| ArgError::new(format!("--stream-out {path}: {e}")))?;
+                Ok(Self::Stream {
+                    rec: Some(StreamingRecorder::new(BufWriter::new(file))),
+                    path: path.to_string(),
+                    merged: None,
+                })
+            }
+        }
+    }
+
     fn as_recorder(&self) -> &dyn Recorder {
         match self {
             Self::Mem(r) => r,
             Self::Sharded(r) => r,
+            Self::Stream { rec, .. } => rec.as_ref().expect("stream recorder already finished"),
         }
     }
 
-    fn trace_doc(&self) -> serde_json::Value {
+    /// Finish the stream (flush every buffer to disk) and replay the
+    /// file into a [`MergedTrace`], memoized. Only valid on `Stream`.
+    fn stream_merged(&mut self) -> Result<&MergedTrace, ArgError> {
+        let Self::Stream { rec, path, merged } = self else {
+            unreachable!("stream_merged on a non-stream recorder")
+        };
+        if merged.is_none() {
+            let r = rec.take().expect("stream recorder already finished");
+            let mut writer = r
+                .finish()
+                .map_err(|e| ArgError::new(format!("--stream-out {path}: {e}")))?;
+            writer
+                .flush()
+                .map_err(|e| ArgError::new(format!("--stream-out {path}: {e}")))?;
+            drop(writer);
+            let text = std::fs::read_to_string(&*path)
+                .map_err(|e| ArgError::new(format!("--stream-out {path}: I/O error: {e}")))?;
+            let m = vc_obs::replay_jsonl(&text)
+                .map_err(|e| ArgError::new(format!("--stream-out {path}: {e}")))?;
+            *merged = Some(m);
+        }
+        Ok(merged.as_ref().expect("just memoized"))
+    }
+
+    fn trace_doc(&mut self) -> Result<serde_json::Value, ArgError> {
         match self {
-            Self::Mem(r) => vc_obs::chrome_trace(r),
-            Self::Sharded(r) => vc_obs::chrome_trace_sharded(r),
+            Self::Mem(r) => Ok(vc_obs::chrome_trace(r)),
+            Self::Sharded(r) => Ok(vc_obs::chrome_trace_sharded(r)),
+            Self::Stream { .. } => {
+                let m = self.stream_merged()?;
+                Ok(vc_obs::trace::chrome_trace_parts(
+                    &m.spans,
+                    &m.events,
+                    &m.track_names,
+                    &m.counter_series,
+                ))
+            }
         }
     }
 
-    fn metrics(&self) -> MetricsSnapshot {
+    fn metrics(&mut self) -> Result<MetricsSnapshot, ArgError> {
         match self {
-            Self::Mem(r) => r.metrics(),
-            Self::Sharded(r) => r.merged().metrics,
+            Self::Mem(r) => Ok(r.metrics()),
+            Self::Sharded(r) => Ok(r.merged().metrics),
+            Self::Stream { .. } => Ok(self.stream_merged()?.metrics.clone()),
         }
     }
 
-    fn span_event_counts(&self) -> (usize, usize) {
+    /// The `ts.*` windowed series this run recorded.
+    fn timeseries(&mut self) -> Result<TimeSeriesSet, ArgError> {
         match self {
-            Self::Mem(r) => (r.spans().len(), r.events().len()),
+            Self::Mem(r) => Ok(TimeSeriesSet::from_counter_series(&r.counter_series())),
+            Self::Sharded(r) => Ok(TimeSeriesSet::from_counter_series(
+                &r.merged().counter_series,
+            )),
+            Self::Stream { .. } => Ok(TimeSeriesSet::from_counter_series(
+                &self.stream_merged()?.counter_series,
+            )),
+        }
+    }
+
+    fn span_event_counts(&mut self) -> Result<(usize, usize), ArgError> {
+        match self {
+            Self::Mem(r) => Ok((r.spans().len(), r.events().len())),
             Self::Sharded(r) => {
                 let m = r.merged();
-                (m.spans.len(), m.events.len())
+                Ok((m.spans.len(), m.events.len()))
+            }
+            Self::Stream { .. } => {
+                let m = self.stream_merged()?;
+                Ok((m.spans.len(), m.events.len()))
             }
         }
     }
 }
 
 /// Write the requested observability artefacts: a Chrome/Perfetto trace
-/// for `--trace-out` and a metrics snapshot for `--metrics-out` (CSV when
-/// the path ends in `.csv`, pretty JSON otherwise).
-fn write_observability(p: &Parsed, rec: &CliRecorder) -> Result<(), ArgError> {
+/// for `--trace-out`, a metrics snapshot for `--metrics-out` (CSV when
+/// the path ends in `.csv`, pretty JSON otherwise), a Prometheus text
+/// exposition for `--prom-out` (window-labelled `ts.*` samples when
+/// `--window-us` is set), and the windowed time-series for
+/// `--series-out` (CSV when the path ends in `.csv`, else JSONL).
+fn write_observability(p: &Parsed, rec: &mut CliRecorder) -> Result<(), ArgError> {
     match p.str_or("trace-out", "") {
         "" => {}
-        path => vc_obs::trace::save_trace_value(&rec.trace_doc(), path)
-            .map_err(|e| ArgError::new(format!("--trace-out {path}: {e}")))?,
+        path => {
+            let doc = rec.trace_doc()?;
+            vc_obs::trace::save_trace_value(&doc, path)
+                .map_err(|e| ArgError::new(format!("--trace-out {path}: {e}")))?;
+        }
     }
     match p.str_or("metrics-out", "") {
         "" => {}
         path => {
-            let snap = rec.metrics();
+            let snap = rec.metrics()?;
             let text = if path.ends_with(".csv") {
                 snap.to_csv()
             } else {
@@ -156,13 +261,37 @@ fn write_observability(p: &Parsed, rec: &CliRecorder) -> Result<(), ArgError> {
                 .map_err(|e| ArgError::new(format!("--metrics-out {path}: {e}")))?;
         }
     }
+    let window_us = p.num_or("window-us", 0u64)?;
     match p.str_or("prom-out", "") {
         "" => {}
         path => {
-            let text = vc_obs::to_prometheus(&rec.metrics());
+            let series = if window_us > 0 {
+                rec.timeseries()?
+            } else {
+                TimeSeriesSet::default()
+            };
+            let text = vc_obs::to_prometheus_windowed(&rec.metrics()?, window_us, &series);
             std::fs::write(path, text)
                 .map_err(|e| ArgError::new(format!("--prom-out {path}: {e}")))?;
         }
+    }
+    match p.str_or("series-out", "") {
+        "" => {}
+        path => {
+            let set = rec.timeseries()?;
+            let text = if path.ends_with(".csv") {
+                set.to_csv()
+            } else {
+                set.to_jsonl()
+            };
+            std::fs::write(path, text)
+                .map_err(|e| ArgError::new(format!("--series-out {path}: {e}")))?;
+        }
+    }
+    // A stream must hit the disk even when no other artefact asked for
+    // it; replaying also validates the flushed file end-to-end.
+    if let CliRecorder::Stream { .. } = rec {
+        rec.stream_merged()?;
     }
     Ok(())
 }
@@ -245,6 +374,7 @@ pub fn simulate_job(p: &Parsed) -> Result<String, ArgError> {
         "trace-out",
         "metrics-out",
         "prom-out",
+        "stream-out",
     ])?;
     let spread = p.u32_list("spread")?.unwrap_or_else(|| vec![2, 10, 0]);
     if spread.len() != 3 {
@@ -283,9 +413,9 @@ pub fn simulate_job(p: &Parsed) -> Result<String, ArgError> {
         ..SimParams::default()
     };
     let m = if wants_observability(p) {
-        let rec = CliRecorder::for_threads(1);
+        let mut rec = CliRecorder::build(p, 1)?;
         let m = vc_mapreduce::simulate_job_traced(&cluster, &job, &params, rec.as_recorder(), 0, 0);
-        write_observability(p, &rec)?;
+        write_observability(p, &mut rec)?;
         m
     } else {
         vc_mapreduce::simulate_job(&cluster, &job, &params)
@@ -325,6 +455,9 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
         "trace-out",
         "metrics-out",
         "prom-out",
+        "series-out",
+        "stream-out",
+        "window-us",
         "placement-threads",
     ])?;
     let cloud = build_cloud(p)?;
@@ -360,11 +493,14 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
         PolicyMode::Individual(policy_by_name(policy_name, scan)?)
     };
     let total = trace.len();
-    let config = SimConfig::new(trace, mode, seed);
+    let mut config = SimConfig::new(trace, mode, seed);
+    if let Some(w) = ts_window(p)? {
+        config = config.with_timeseries(w);
+    }
     let result = if wants_observability(p) {
-        let rec = CliRecorder::for_threads(p.num_or("placement-threads", 1usize)?);
+        let mut rec = CliRecorder::build(p, p.num_or("placement-threads", 1usize)?)?;
         let result = vc_cloudsim::sim::run_recorded(&cloud, config, rec.as_recorder());
-        write_observability(p, &rec)?;
+        write_observability(p, &mut rec)?;
         result
     } else {
         vc_cloudsim::sim::run(&cloud, config)
@@ -424,6 +560,9 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
         "trace-out",
         "metrics-out",
         "prom-out",
+        "series-out",
+        "stream-out",
+        "window-us",
         "placement-threads",
     ])?;
     let cloud = build_cloud(p)?;
@@ -475,15 +614,15 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
     };
 
     let total = trace.len();
-    let rec = CliRecorder::for_threads(p.num_or("placement-threads", 1usize)?);
-    let result = vc_cloudsim::sim::run_recorded(
-        &cloud,
-        SimConfig::new(trace, mode, seed).with_service(service),
-        rec.as_recorder(),
-    );
-    write_observability(p, &rec)?;
-    let snap = rec.metrics();
-    let (num_spans, num_events) = rec.span_event_counts();
+    let mut config = SimConfig::new(trace, mode, seed).with_service(service);
+    if let Some(w) = ts_window(p)? {
+        config = config.with_timeseries(w);
+    }
+    let mut rec = CliRecorder::build(p, p.num_or("placement-threads", 1usize)?)?;
+    let result = vc_cloudsim::sim::run_recorded(&cloud, config, rec.as_recorder());
+    write_observability(p, &mut rec)?;
+    let snap = rec.metrics()?;
+    let (num_spans, num_events) = rec.span_event_counts()?;
 
     if p.switch("json") {
         return Ok(serde_json::json!({
@@ -871,7 +1010,16 @@ fn perf_summary(metrics: &serde_json::Value) -> (serde_json::Value, String) {
 /// exchanges), and optionally the headline placement counters from a
 /// `--metrics-out` snapshot.
 pub fn report(p: &Parsed) -> Result<String, ArgError> {
-    p.ensure_known(&["trace", "metrics", "json", "network", "perf"])?;
+    p.ensure_known(&[
+        "trace",
+        "stream",
+        "metrics",
+        "json",
+        "network",
+        "perf",
+        "timeline",
+        "series-out",
+    ])?;
     let metrics: Option<serde_json::Value> = match p.str_or("metrics", "") {
         "" => None,
         path => {
@@ -884,26 +1032,82 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
         }
     };
 
-    // `--perf` only needs a metrics snapshot, so --trace becomes optional
-    // when it is the sole request; every other mode still requires it.
+    // `--perf` only needs a metrics snapshot, so the trace input becomes
+    // optional when it is the sole request; every other mode requires
+    // either --trace (a Chrome document) or --stream (a JSONL file from
+    // --stream-out, replayed into the same document shape).
     let trace_path = p.str_or("trace", "");
-    let dump = if trace_path.is_empty() {
+    let stream_path = p.str_or("stream", "");
+    if !trace_path.is_empty() && !stream_path.is_empty() {
+        return Err(ArgError::new(
+            "--trace and --stream both name a trace input; pass exactly one",
+        ));
+    }
+    let doc: Option<serde_json::Value> = if !stream_path.is_empty() {
+        let text = std::fs::read_to_string(stream_path)
+            .map_err(|e| ArgError::new(format!("--stream {stream_path}: I/O error: {e}")))?;
+        let m = vc_obs::replay_jsonl(&text)
+            .map_err(|e| ArgError::new(format!("--stream {stream_path}: {e}")))?;
+        Some(vc_obs::trace::chrome_trace_parts(
+            &m.spans,
+            &m.events,
+            &m.track_names,
+            &m.counter_series,
+        ))
+    } else if !trace_path.is_empty() {
+        let text = std::fs::read_to_string(trace_path)
+            .map_err(|e| ArgError::new(format!("--trace {trace_path}: I/O error: {e}")))?;
+        Some(
+            serde_json::from_str(&text)
+                .map_err(|e| ArgError::new(format!("--trace {trace_path}: {e}")))?,
+        )
+    } else {
         if !(p.switch("perf") && metrics.is_some()) {
             return Err(ArgError::new(
-                "missing required option --trace <FILE> (a file written by --trace-out); \
+                "missing required option --trace <FILE> (a file written by --trace-out) \
+                 or --stream <FILE> (a JSONL file written by --stream-out); \
                  only `report --perf --metrics <FILE>` works without one",
             ));
         }
-        TraceDump::default()
+        None
+    };
+    let input_label = if stream_path.is_empty() {
+        format!("--trace {trace_path}")
     } else {
-        let text = std::fs::read_to_string(trace_path)
-            .map_err(|e| ArgError::new(format!("--trace {trace_path}: I/O error: {e}")))?;
-        let doc: serde_json::Value = serde_json::from_str(&text)
-            .map_err(|e| ArgError::new(format!("--trace {trace_path}: {e}")))?;
-        TraceDump::from_chrome_value(&doc)
-            .map_err(|e| ArgError::new(format!("--trace {trace_path}: {e}")))?
+        format!("--stream {stream_path}")
+    };
+    let dump = match &doc {
+        Some(d) => TraceDump::from_chrome_value(d)
+            .map_err(|e| ArgError::new(format!("{input_label}: {e}")))?,
+        None => TraceDump::default(),
     };
     let jobs = vc_obs::analyze(&dump);
+
+    // `--timeline` renders the windowed `ts.*` series; `--series-out`
+    // re-exports them (CSV/JSONL by extension) from either input kind.
+    let series_out = p.str_or("series-out", "");
+    let timeline: Option<TimeSeriesSet> = if p.switch("timeline") || !series_out.is_empty() {
+        let d = doc
+            .as_ref()
+            .ok_or_else(|| ArgError::new("--timeline needs a trace input (--trace or --stream)"))?;
+        Some(
+            TimeSeriesSet::from_chrome_value(d)
+                .map_err(|e| ArgError::new(format!("{input_label}: {e}")))?,
+        )
+    } else {
+        None
+    };
+    if let (path, Some(set)) = (series_out, &timeline) {
+        if !path.is_empty() {
+            let text = if path.ends_with(".csv") {
+                set.to_csv()
+            } else {
+                set.to_jsonl()
+            };
+            std::fs::write(path, text)
+                .map_err(|e| ArgError::new(format!("--series-out {path}: {e}")))?;
+        }
+    }
 
     let network = if p.switch("network") {
         let metrics = metrics.as_ref().ok_or_else(|| {
@@ -973,6 +1177,34 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
         }
         if let Some((perf_json, _)) = &perf {
             entries.push(("perf".to_string(), perf_json.clone()));
+        }
+        if let Some(set) = &timeline {
+            let series_objs: Vec<(String, serde_json::Value)> = set
+                .series
+                .iter()
+                .map(|(name, points)| {
+                    let rows: Vec<serde_json::Value> = points
+                        .iter()
+                        .map(|&(t, v)| {
+                            serde_json::Value::Array(vec![
+                                serde_json::Value::U64(t),
+                                serde_json::Value::F64(v),
+                            ])
+                        })
+                        .collect();
+                    (name.clone(), serde_json::Value::Array(rows))
+                })
+                .collect();
+            entries.push((
+                "timeline".to_string(),
+                serde_json::Value::Object(vec![
+                    (
+                        "window_count".to_string(),
+                        serde_json::Value::U64(set.window_count() as u64),
+                    ),
+                    ("series".to_string(), serde_json::Value::Object(series_objs)),
+                ]),
+            ));
         }
         return Ok(serde_json::Value::Object(entries).to_string());
     }
@@ -1078,7 +1310,81 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
     if let Some((_, perf_text)) = &perf {
         out.push_str(perf_text);
     }
+    if let Some(set) = &timeline {
+        out.push_str(&render_timeline(set));
+    }
     Ok(out)
+}
+
+/// One timeline cell: integers render bare, everything else at four
+/// decimal places so fill/frag/util fractions stay readable.
+fn fmt_ts_val(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// The `report --timeline` table: one row per window edge (shown in
+/// seconds), one column per `ts.*` series with the prefix stripped,
+/// `-` where a series has no sample at that edge.
+fn render_timeline(set: &TimeSeriesSet) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\ntimeline — {} window(s), {} series\n",
+        set.window_count(),
+        set.series.len()
+    ));
+    if set.is_empty() {
+        out.push_str("  (no ts.* samples; run simulate with --window-us <N>)\n");
+        return out;
+    }
+    let edges = set.edges();
+    let names: Vec<&String> = set.series.keys().collect();
+    // Pre-render every cell so column widths can be computed.
+    let headers: Vec<&str> = names
+        .iter()
+        .map(|n| n.strip_prefix(TS_PREFIX).unwrap_or(n))
+        .collect();
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(edges.len());
+    for &edge in &edges {
+        let mut row = vec![format!("{:.2}", edge as f64 / 1e6)];
+        for name in &names {
+            let points = &set.series[*name];
+            let cell = points
+                .binary_search_by_key(&edge, |&(t, _)| t)
+                .map(|pos| fmt_ts_val(points[pos].1))
+                .unwrap_or_else(|_| "-".to_string());
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    let mut widths: Vec<usize> = std::iter::once("t_s")
+        .chain(headers.iter().copied())
+        .map(str::len)
+        .collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    out.push_str(&format!("  {:>w$}", "t_s", w = widths[0]));
+    for (h, w) in headers.iter().zip(&widths[1..]) {
+        out.push_str(&format!(" {h:>w$}", w = *w));
+    }
+    out.push('\n');
+    for row in &rows {
+        out.push_str("  ");
+        for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{cell:>w$}", w = *w));
+        }
+        out.push('\n');
+    }
+    out
 }
 
 /// Load a perf JSON document for `profile`: either a full

@@ -101,10 +101,21 @@ OBSERVABILITY (simulate, simulate-job, simulate-queue):
     --trace-out <FILE>     write a Chrome/Perfetto trace-event timeline
     --metrics-out <FILE>   write a metrics snapshot (.csv for CSV, else JSON)
     --prom-out <FILE>      write the snapshot in Prometheus text exposition
+                           (windowed ts.* samples labelled when --window-us set)
+    --stream-out <FILE>    record through the bounded-memory streaming
+                           recorder into a JSONL file (replay with
+                           `report --stream`); RSS stays flat however long
+                           the run is
+    --window-us <N>        sample ts.* cloud-health series every N µs of
+                           sim time (simulate, simulate-queue)
+    --series-out <FILE>    export the windowed series (.csv wide table,
+                           else JSONL); needs --window-us
 
 REPORT OPTIONS:
-    --trace <FILE>         trace written by --trace-out (required, except
-                           `report --perf --metrics <FILE>` alone)
+    --trace <FILE>         trace written by --trace-out (this or --stream is
+                           required, except `report --perf --metrics <FILE>`)
+    --stream <FILE>        JSONL stream written by --stream-out, replayed
+                           into the same report
     --metrics <FILE>       metrics JSON written by --metrics-out (optional)
     --network              add the link-level hot-spot summary (needs --metrics):
                            per-link bytes/peak-utilization, rack-uplink peaks,
@@ -112,6 +123,9 @@ REPORT OPTIONS:
     --perf                 add the simulator self-profile (needs --metrics):
                            phase wall-clock breakdown, fair-share solver
                            effort, peak RSS
+    --timeline             add the windowed ts.* time-series table (from a
+                           run recorded with --window-us)
+    --series-out <FILE>    re-export the ts.* series from the trace input
     --json                 emit the full report as JSON
 
 PROFILE OPTIONS:
@@ -782,5 +796,135 @@ mod obs_cli_tests {
         .unwrap();
         std::fs::remove_file(&mp).ok();
         assert_eq!(plain, recorded, "recording must not perturb the simulation");
+    }
+
+    #[test]
+    fn series_out_requires_window() {
+        let (_, sps) = tmp("affinity_vc_no_window.csv");
+        let err = call(&["simulate", "--requests", "2", "--series-out", &sps]).unwrap_err();
+        assert!(err.to_string().contains("--window-us"), "{err}");
+    }
+
+    #[test]
+    fn simulate_series_out_csv_is_windowed_and_monotone() {
+        let (sp, sps) = tmp("affinity_vc_series.csv");
+        call(&[
+            "simulate",
+            "--requests",
+            "6",
+            "--maps",
+            "4",
+            "--window-us",
+            "5000000",
+            "--series-out",
+            &sps,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&sp).unwrap();
+        std::fs::remove_file(&sp).ok();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("t_us,"), "{header}");
+        assert!(header.contains("ts.cloud.fill"), "{header}");
+        assert!(header.contains("ts.queue.depth"), "{header}");
+        assert!(header.contains("ts.net.rack_up_util"), "{header}");
+        let edges: Vec<u64> = lines
+            .map(|l| l.split(',').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(edges.len() >= 2, "expected several windows: {text}");
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "{edges:?}");
+        // Every full edge is a multiple of the window width.
+        for &e in &edges[..edges.len() - 1] {
+            assert_eq!(e % 5_000_000, 0, "unaligned full edge {e}");
+        }
+    }
+
+    #[test]
+    fn stream_out_does_not_change_results_and_report_replays_it() {
+        // The bounded-memory streaming recorder must be invisible to the
+        // simulation and its flushed JSONL must reproduce the exact same
+        // report as an in-memory trace of the same run.
+        let (tp, tps) = tmp("affinity_vc_stream_cmp_trace.json");
+        let (sp, sps) = tmp("affinity_vc_stream_cmp.jsonl");
+        fn args<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+            let mut v = vec![
+                "simulate",
+                "--requests",
+                "5",
+                "--maps",
+                "4",
+                "--window-us",
+                "5000000",
+                "--json",
+            ];
+            v.extend_from_slice(extra);
+            v
+        }
+        let plain = call(&args(&["--trace-out", &tps])).unwrap();
+        let streamed = call(&args(&["--stream-out", &sps])).unwrap();
+        assert_eq!(plain, streamed, "streaming must not perturb the run");
+
+        let from_trace = call(&["report", "--trace", &tps, "--timeline", "--json"]).unwrap();
+        let from_stream = call(&["report", "--stream", &sps, "--timeline", "--json"]).unwrap();
+        std::fs::remove_file(&tp).ok();
+        std::fs::remove_file(&sp).ok();
+        let a: Value = serde_json::from_str(&from_trace).unwrap();
+        let b: Value = serde_json::from_str(&from_stream).unwrap();
+        assert_eq!(a["timeline"], b["timeline"], "windowed values must match");
+        assert!(
+            a["timeline"]["window_count"].as_u64().unwrap() >= 2,
+            "{from_trace}"
+        );
+        assert_eq!(a["jobs"], b["jobs"], "critical-path view must match");
+    }
+
+    #[test]
+    fn report_timeline_renders_table() {
+        let (sp, sps) = tmp("affinity_vc_timeline.jsonl");
+        call(&[
+            "simulate",
+            "--requests",
+            "4",
+            "--maps",
+            "4",
+            "--window-us",
+            "5000000",
+            "--stream-out",
+            &sps,
+        ])
+        .unwrap();
+        let out = call(&["report", "--stream", &sps, "--timeline"]).unwrap();
+        std::fs::remove_file(&sp).ok();
+        assert!(out.contains("timeline —"), "{out}");
+        assert!(out.contains("t_s"), "{out}");
+        assert!(out.contains("cloud.fill"), "{out}");
+        assert!(out.contains("queue.depth"), "{out}");
+    }
+
+    #[test]
+    fn report_rejects_both_trace_and_stream() {
+        let err = call(&["report", "--trace", "a.json", "--stream", "b.jsonl"]).unwrap_err();
+        assert!(err.to_string().contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn prom_out_window_labels_when_sampling() {
+        let (pp, pps) = tmp("affinity_vc_prom_windowed.prom");
+        call(&[
+            "simulate",
+            "--requests",
+            "4",
+            "--maps",
+            "4",
+            "--window-us",
+            "5000000",
+            "--prom-out",
+            &pps,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&pp).unwrap();
+        std::fs::remove_file(&pp).ok();
+        assert!(text.contains("window=\""), "{text}");
+        assert!(text.contains("ts_cloud_fill"), "{text}");
     }
 }

@@ -61,6 +61,60 @@ fn missing_trace_file_exits_nonzero() {
 }
 
 #[test]
+fn corrupt_stream_line_exits_nonzero_with_line_number() {
+    // A stream with a syntactically broken line must fail the replay
+    // and name both the file and the offending line.
+    let (path, path_s) = tmp("affinity_vc_corrupt_stream.jsonl");
+    std::fs::write(
+        &path,
+        "{\"o\":\"c\",\"n\":\"a\",\"d\":1,\"t\":0,\"q\":1}\nnot json at all\n",
+    )
+    .unwrap();
+    let out = run(&["report", "--stream", &path_s]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.starts_with("error:"), "{err}");
+    assert!(err.contains(&path_s), "error must name the file: {err}");
+    assert!(err.contains("line 2"), "error must name the line: {err}");
+}
+
+#[test]
+fn truncated_stream_exits_nonzero() {
+    // Simulate a crash mid-write: record a real stream, then chop the
+    // last line in half. The replay must reject it, not silently drop it.
+    let (sp, sps) = tmp("affinity_vc_truncated_stream.jsonl");
+    let sim = run(&[
+        "simulate",
+        "--requests",
+        "3",
+        "--maps",
+        "4",
+        "--stream-out",
+        &sps,
+    ]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+    let text = std::fs::read_to_string(&sp).unwrap();
+    let trimmed = text.trim_end();
+    let cut = trimmed.len() - trimmed.lines().last().unwrap().len() / 2;
+    std::fs::write(&sp, &trimmed[..cut]).unwrap();
+    let out = run(&["report", "--stream", &sps]);
+    std::fs::remove_file(&sp).ok();
+    assert_eq!(out.status.code(), Some(1), "truncated stream must fail");
+    let err = stderr(&out);
+    assert!(err.contains(&sps), "error must name the file: {err}");
+}
+
+#[test]
+fn missing_stream_file_exits_nonzero() {
+    let out = run(&["report", "--stream", "/no/such/dir/run.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("I/O error"), "{err}");
+    assert!(err.contains("/no/such/dir/run.jsonl"), "{err}");
+}
+
+#[test]
 fn profile_gate_pass_exits_zero_and_fail_exits_one() {
     // Produce two perf snapshots of different-sized runs; comparing a
     // snapshot against itself passes, against the smaller one fails.

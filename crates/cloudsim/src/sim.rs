@@ -3,16 +3,18 @@
 use crate::arrivals::CloudRequest;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use vc_des::{Engine, EventKind, SimTime};
 use vc_mapreduce::engine::SimParams;
 use vc_mapreduce::{JobConfig, VirtualCluster};
 use vc_model::{Allocation, ClusterState};
-use vc_obs::{AttrValue, NoopRecorder, Recorder, SpanId, TrackId};
+use vc_obs::{AttrValue, NoopRecorder, Recorder, SpanId, TrackId, WindowSampler};
 use vc_placement::distance::distance_with_center;
 use vc_placement::global::{self, Admission};
 use vc_placement::online::ScanConfig;
 use vc_placement::{PlacementError, PlacementPolicy};
+use vc_topology::{RackId, Topology};
 
 /// Track-id stride between requests on a shared timeline: request `i`
 /// owns tracks `STRIDE·(i+1) ..`, leaving track 0 for queue-level
@@ -61,6 +63,12 @@ pub struct SimConfig {
     pub service: ServiceModel,
     /// Seed for stochastic placement policies.
     pub seed: u64,
+    /// When set, sample the `ts.*` cloud-health time-series into
+    /// fixed-width sim-time windows of this many microseconds (see
+    /// `vc_obs::timeseries`). Pure observation: results are identical
+    /// with it on or off, and it costs nothing unless a recorder is
+    /// enabled.
+    pub ts_window_us: Option<u64>,
 }
 
 impl SimConfig {
@@ -71,12 +79,23 @@ impl SimConfig {
             mode,
             service: ServiceModel::Trace,
             seed,
+            ts_window_us: None,
         }
     }
 
     /// Replace the holding-time model.
     pub fn with_service(mut self, service: ServiceModel) -> Self {
         self.service = service;
+        self
+    }
+
+    /// Enable windowed `ts.*` time-series sampling on the given cadence.
+    ///
+    /// # Panics
+    /// Panics if `window_us` is zero.
+    pub fn with_timeseries(mut self, window_us: u64) -> Self {
+        assert!(window_us > 0, "time-series window must be positive");
+        self.ts_window_us = Some(window_us);
         self
     }
 }
@@ -161,6 +180,100 @@ pub fn run(state: &ClusterState, config: SimConfig) -> SimResult {
     run_recorded(state, config, &NoopRecorder)
 }
 
+/// Cumulative counts already attributed to earlier windows, so each
+/// window emission can report the delta.
+#[derive(Default)]
+struct TsCumulative {
+    served: u64,
+    refused: u64,
+}
+
+/// Free-resource fragmentation index: `1 − max_rack_free / total_free`,
+/// where both terms count free VM slots via the placement index's rack
+/// aggregates. 0 means every free slot sits in one rack (a tight request
+/// can still land with zero cross-rack spill); values toward 1 mean the
+/// free pool is shredded across racks. Defined as 0 when the cloud is
+/// full.
+fn fragmentation_index(state: &ClusterState, topo: &Topology) -> f64 {
+    let idx = state.index();
+    let mut total_free = 0u64;
+    let mut max_rack_free = 0u64;
+    for r in 0..topo.num_racks() {
+        let free: u64 = idx
+            .rack_free(RackId(r as u32))
+            .iter()
+            .map(|&x| u64::from(x))
+            .sum();
+        total_free += free;
+        max_rack_free = max_rack_free.max(free);
+    }
+    if total_free == 0 {
+        0.0
+    } else {
+        1.0 - max_rack_free as f64 / total_free as f64
+    }
+}
+
+/// Emit one closed (or final partial) `ts.*` window at `edge_us`.
+/// `elapsed_us` is the window's actual width (shorter than the cadence
+/// only for the final partial window); `net` carries the RackUp bytes
+/// apportioned to this window plus the aggregate uplink capacity in
+/// MB/s, present only under the MapReduce service model.
+#[allow(clippy::too_many_arguments)]
+fn emit_ts_window(
+    rec: &dyn Recorder,
+    edge_us: u64,
+    elapsed_us: u64,
+    state: &ClusterState,
+    topo: &Topology,
+    queue_depth: usize,
+    live: &BTreeMap<u64, Allocation>,
+    outcomes: &[RequestOutcome],
+    prev: &mut TsCumulative,
+    net: Option<(f64, f64)>,
+) {
+    rec.counter_sample("ts.cloud.fill", edge_us, state.utilization());
+    rec.counter_sample("ts.cloud.frag", edge_us, fragmentation_index(state, topo));
+    rec.counter_sample("ts.cloud.active_vms", edge_us, state.used().total() as f64);
+    rec.counter_sample("ts.cloud.active_jobs", edge_us, live.len() as f64);
+    rec.counter_sample("ts.queue.depth", edge_us, queue_depth as f64);
+
+    let (dc_sum, dc_n) = live
+        .keys()
+        .filter_map(|&id| outcomes[id as usize].distance)
+        .fold((0u64, 0u64), |(s, n), d| (s + d, n + 1));
+    let mean_dc = if dc_n > 0 {
+        dc_sum as f64 / dc_n as f64
+    } else {
+        0.0
+    };
+    rec.counter_sample("ts.cloud.mean_job_dc", edge_us, mean_dc);
+
+    let served = outcomes.iter().filter(|o| o.started.is_some()).count() as u64;
+    let refused = outcomes.iter().filter(|o| o.refused).count() as u64;
+    rec.counter_sample(
+        "ts.served.delta",
+        edge_us,
+        served.saturating_sub(prev.served) as f64,
+    );
+    rec.counter_sample(
+        "ts.refused.delta",
+        edge_us,
+        refused.saturating_sub(prev.refused) as f64,
+    );
+    prev.served = served;
+    prev.refused = refused;
+
+    if let Some((bytes, uplink_total_mbps)) = net {
+        rec.counter_sample("ts.net.rack_up_bytes.delta", edge_us, bytes);
+        // 1 MB/s delivers exactly 1 byte/µs, so the window's aggregate
+        // uplink byte budget is capacity × elapsed.
+        let budget = uplink_total_mbps * elapsed_us as f64;
+        let util = if budget > 0.0 { bytes / budget } else { 0.0 };
+        rec.counter_sample("ts.net.rack_up_util", edge_us, util);
+    }
+}
+
 /// [`run`] with observability: queue-depth samples and histograms,
 /// admission/refusal events, provisioning-latency (`cloudsim.wait_us`)
 /// and holding-time histograms, per-request timeline spans, and — when
@@ -178,6 +291,7 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
         mode,
         service,
         seed,
+        ts_window_us,
     } = config;
     for (i, r) in requests.iter().enumerate() {
         assert_eq!(r.id, i as u64, "request ids must be dense and ordered");
@@ -213,6 +327,16 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
         rec.track_name(TrackId(0), "cloud queue");
     }
 
+    // Windowed time-series: sampling costs nothing unless both a cadence
+    // and a live recorder are present.
+    let ts_w = if rec.enabled() { ts_window_us } else { None };
+    let mut sampler = ts_w.map(WindowSampler::new);
+    // Per-window RackUp bytes merged from every job's network rollup.
+    // RefCell because `hold_time` (shared by both serve arms) appends
+    // while the event loop later drains per closed window.
+    let net_win: RefCell<BTreeMap<u64, f64>> = RefCell::new(BTreeMap::new());
+    let mut ts_prev = TsCumulative::default();
+
     // Resolve the holding time for a freshly placed allocation.
     let hold_time = |req: &CloudRequest,
                      alloc: &Allocation,
@@ -227,14 +351,21 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
                 // Each job traces onto its request's private track range,
                 // offset to its real start time on the queue timeline.
                 let _t = vc_obs::PhaseTimer::start(rec, vc_obs::prof::MR_SERVICE);
-                let metrics = vc_mapreduce::simulate_job_traced(
+                let (metrics, rollup) = vc_mapreduce::simulate_job_traced_windowed(
                     &cluster,
                     job,
                     params,
                     rec,
                     TRACK_STRIDE * (req.id + 1),
                     now.as_micros(),
+                    ts_w,
                 );
+                if !rollup.is_empty() {
+                    let mut win = net_win.borrow_mut();
+                    for (k, b) in rollup {
+                        *win.entry(k).or_insert(0.0) += b;
+                    }
+                }
                 (metrics.runtime, Some(metrics.runtime))
             }
         }
@@ -404,6 +535,14 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
     };
 
     let capacity_total = state.capacity().total();
+    // Aggregate RackUp capacity for the `ts.net.rack_up_util` gauge,
+    // present only when jobs actually generate network traffic.
+    let rack_uplink_total_mbps = match &service {
+        ServiceModel::Trace => None,
+        ServiceModel::MapReduce { params, .. } => {
+            Some(topo.num_racks() as f64 * params.net.rack_uplink_mbps)
+        }
+    };
     let mut last_time = SimTime::ZERO;
     let mut used_integral = 0f64; // slot-microseconds
     let mut peak_used = 0u64;
@@ -413,6 +552,29 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
             engine.pop_traced(&rec)
         };
         let Some((now, event)) = popped else { break };
+        // Close every window edge the clock just crossed *before*
+        // processing the event: the sampled state is exactly the state
+        // as of the edge, because no event in [edge, now) exists.
+        if let Some(s) = sampler.as_mut() {
+            let w = s.window_us();
+            while let Some(edge) = s.pop_due(now.as_micros()) {
+                let k = WindowSampler::window_index(w, edge);
+                let net = rack_uplink_total_mbps
+                    .map(|cap| (net_win.borrow_mut().remove(&k).unwrap_or(0.0), cap));
+                emit_ts_window(
+                    rec,
+                    edge,
+                    w,
+                    &state,
+                    &topo,
+                    queue.len(),
+                    &live,
+                    &outcomes,
+                    &mut ts_prev,
+                    net,
+                );
+            }
+        }
         used_integral += state.used().total() as f64 * (now - last_time).as_micros() as f64;
         last_time = now;
         match event {
@@ -448,6 +610,29 @@ pub fn run_recorded(state: &ClusterState, config: SimConfig, rec: &dyn Recorder)
             state.used().total() as f64,
         );
         peak_used = peak_used.max(state.used().total());
+    }
+    // Final partial window at the last event time, so the tail of the
+    // run (everything past the last full edge) is still reported.
+    if let Some(s) = &sampler {
+        if let Some(edge) = s.partial_edge(last_time.as_micros()) {
+            let w = s.window_us();
+            let k = WindowSampler::window_index(w, edge);
+            let elapsed = edge - k * w;
+            let net = rack_uplink_total_mbps
+                .map(|cap| (net_win.borrow_mut().remove(&k).unwrap_or(0.0), cap));
+            emit_ts_window(
+                rec,
+                edge,
+                elapsed,
+                &state,
+                &topo,
+                queue.len(),
+                &live,
+                &outcomes,
+                &mut ts_prev,
+                net,
+            );
+        }
     }
     vc_obs::prof::record_peak_rss(rec);
     let horizon = last_time.as_micros() as f64;
@@ -577,6 +762,7 @@ mod tests {
                 mode: PolicyMode::Individual(Box::new(OnlineHeuristic)),
                 service: ServiceModel::Trace,
                 seed: 0,
+                ts_window_us: None,
             },
         );
         let second = &result.outcomes[1];
@@ -602,6 +788,7 @@ mod tests {
                 mode: PolicyMode::Individual(Box::new(OnlineHeuristic)),
                 service: ServiceModel::Trace,
                 seed: 0,
+                ts_window_us: None,
             },
         );
         assert_eq!(result.refused, 1);
@@ -744,6 +931,7 @@ mod tests {
                 mode: PolicyMode::Individual(Box::new(OnlineHeuristic)),
                 service: ServiceModel::Trace,
                 seed: 0,
+                ts_window_us: None,
             },
         );
     }
@@ -909,6 +1097,143 @@ mod utilization_tests {
         assert_eq!(result.avg_utilization, 0.0);
         assert_eq!(result.peak_utilization, 0.0);
         assert_eq!(result.served, 0);
+    }
+}
+
+#[cfg(test)]
+mod timeseries_tests {
+    use super::*;
+    use crate::arrivals::{ArrivalProcess, ServiceTime};
+    use std::sync::Arc;
+    use vc_mapreduce::Workload;
+    use vc_model::workload::RequestProfile;
+    use vc_model::VmCatalog;
+    use vc_obs::{MemRecorder, TimeSeriesSet};
+    use vc_placement::online::OnlineHeuristic;
+    use vc_topology::{generate, DistanceTiers};
+
+    const WINDOW_US: u64 = 5_000_000; // 5 s
+
+    fn state() -> ClusterState {
+        let topo = Arc::new(generate::uniform(3, 4, DistanceTiers::paper_experiment()));
+        let cat = Arc::new(VmCatalog::ec2_table1());
+        ClusterState::uniform_capacity(topo, cat, 2)
+    }
+
+    fn trace(count: usize, seed: u64) -> Vec<CloudRequest> {
+        let p = ArrivalProcess {
+            rate_per_s: 1.0,
+            profile: RequestProfile::standard(),
+            service: ServiceTime::UniformMs(2_000, 8_000),
+        };
+        p.generate(count, 3, &mut StdRng::seed_from_u64(seed))
+    }
+
+    fn cfg(seed: u64) -> SimConfig {
+        SimConfig::new(
+            trace(20, seed),
+            PolicyMode::Individual(Box::new(OnlineHeuristic)),
+            seed,
+        )
+    }
+
+    #[test]
+    fn sampling_does_not_perturb_results() {
+        let s = state();
+        let plain = run(&s, cfg(11));
+        let rec = MemRecorder::new();
+        let sampled = run_recorded(&s, cfg(11).with_timeseries(WINDOW_US), &rec);
+        assert_eq!(plain.outcomes, sampled.outcomes);
+        // And with no recorder attached the cadence is entirely inert.
+        let noop = run(&s, cfg(11).with_timeseries(WINDOW_US));
+        assert_eq!(plain.outcomes, noop.outcomes);
+    }
+
+    #[test]
+    fn windows_are_monotone_and_deterministic() {
+        let s = state();
+        let rec = MemRecorder::new();
+        let result = run_recorded(&s, cfg(11).with_timeseries(WINDOW_US), &rec);
+        let set = TimeSeriesSet::from_counter_series(&rec.counter_series());
+        assert!(!set.is_empty());
+        assert!(set.is_monotone());
+        for name in [
+            "ts.cloud.fill",
+            "ts.cloud.frag",
+            "ts.cloud.active_vms",
+            "ts.cloud.active_jobs",
+            "ts.queue.depth",
+            "ts.cloud.mean_job_dc",
+            "ts.served.delta",
+            "ts.refused.delta",
+        ] {
+            assert!(set.series.contains_key(name), "missing {name}");
+        }
+        // Trace-driven service: no network, so no ts.net.* series.
+        assert!(!set.series.keys().any(|n| n.starts_with("ts.net.")));
+        // Every series samples every window: identical edge lists, full
+        // edges on exact multiples of the cadence plus one partial tail.
+        let edges = set.edges();
+        for points in set.series.values() {
+            let series_edges: Vec<u64> = points.iter().map(|&(t, _)| t).collect();
+            assert_eq!(series_edges, edges);
+        }
+        for &edge in &edges[..edges.len() - 1] {
+            assert_eq!(edge % WINDOW_US, 0, "full edge off-cadence: {edge}");
+        }
+        // The served deltas tile the run: they sum to the served count.
+        let served_sum: f64 = set.series["ts.served.delta"].iter().map(|&(_, v)| v).sum();
+        assert_eq!(served_sum as usize, result.served);
+        // The cloud drains by the end of the run.
+        let (_, last_vms) = *set.series["ts.cloud.active_vms"].last().unwrap();
+        assert_eq!(last_vms, 0.0);
+        // Fill and fragmentation stay in [0, 1].
+        for name in ["ts.cloud.fill", "ts.cloud.frag"] {
+            for &(_, v) in &set.series[name] {
+                assert!((0.0..=1.0).contains(&v), "{name} out of range: {v}");
+            }
+        }
+        // Same run, same windows: bit-identical series.
+        let rec2 = MemRecorder::new();
+        run_recorded(&s, cfg(11).with_timeseries(WINDOW_US), &rec2);
+        assert_eq!(
+            set,
+            TimeSeriesSet::from_counter_series(&rec2.counter_series())
+        );
+    }
+
+    #[test]
+    fn mapreduce_service_reports_windowed_uplink_traffic() {
+        let s = state();
+        let service = ServiceModel::MapReduce {
+            job: JobConfig {
+                workload: Workload::terasort(),
+                input_mb: 8.0 * 64.0,
+                split_mb: 64.0,
+                num_reducers: 2,
+                replication: 2,
+            },
+            params: SimParams::default(),
+        };
+        let rec = MemRecorder::new();
+        let result = run_recorded(
+            &s,
+            cfg(5).with_service(service).with_timeseries(WINDOW_US),
+            &rec,
+        );
+        assert!(result.served > 0);
+        let set = TimeSeriesSet::from_counter_series(&rec.counter_series());
+        let bytes = &set.series["ts.net.rack_up_bytes.delta"];
+        let util = &set.series["ts.net.rack_up_util"];
+        assert_eq!(bytes.len(), util.len());
+        let total: f64 = bytes.iter().map(|&(_, v)| v).sum();
+        assert!(total > 0.0, "terasort must cross racks: {total}");
+        for &(_, u) in util {
+            assert!(u.is_finite() && u >= 0.0, "bad utilization {u}");
+        }
+        // Utilization is bytes over the aggregate uplink budget, so it
+        // cannot exceed 1 by more than the fluid model's rounding.
+        assert!(util.iter().all(|&(_, u)| u <= 1.0 + 1e-9));
     }
 }
 

@@ -1,0 +1,121 @@
+//! Streaming-vs-memory recorder parity over random simulate runs.
+//!
+//! The bounded-memory [`StreamingRecorder`] spills every recorder op to
+//! a JSONL sink as it happens; replaying that stream must reproduce the
+//! [`MemRecorder`] view of the *same* run exactly — same outcomes, same
+//! windowed `ts.*` series, same metrics (modulo the self-profiling
+//! wall-clock counters, which measure the host, not the simulation).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use vc_cloudsim::sim::{run_recorded, PolicyMode, SimConfig};
+use vc_cloudsim::{ArrivalProcess, CloudRequest, ServiceTime};
+use vc_mapreduce::engine::SimParams;
+use vc_mapreduce::{JobConfig, Workload};
+use vc_model::workload::RequestProfile;
+use vc_model::{ClusterState, VmCatalog};
+use vc_obs::{replay_jsonl, MemRecorder, MetricsSnapshot, StreamingRecorder};
+use vc_placement::online::OnlineHeuristic;
+use vc_topology::{generate, DistanceTiers};
+
+fn state() -> ClusterState {
+    let topo = Arc::new(generate::uniform(3, 4, DistanceTiers::paper_experiment()));
+    let cat = Arc::new(VmCatalog::ec2_table1());
+    ClusterState::uniform_capacity(topo, cat, 2)
+}
+
+fn trace(count: usize, seed: u64) -> Vec<CloudRequest> {
+    let p = ArrivalProcess {
+        rate_per_s: 1.0,
+        profile: RequestProfile::standard(),
+        service: ServiceTime::UniformMs(2_000, 8_000),
+    };
+    p.generate(count, 3, &mut StdRng::seed_from_u64(seed))
+}
+
+fn cfg(count: usize, seed: u64, window_us: u64, mapreduce: bool) -> SimConfig {
+    let mut c = SimConfig::new(
+        trace(count, seed),
+        PolicyMode::Individual(Box::new(OnlineHeuristic)),
+        seed,
+    )
+    .with_timeseries(window_us);
+    if mapreduce {
+        c = c.with_service(vc_cloudsim::sim::ServiceModel::MapReduce {
+            job: JobConfig {
+                workload: Workload::wordcount(),
+                input_mb: 4.0 * 64.0,
+                split_mb: 64.0,
+                num_reducers: 1,
+                replication: 2,
+            },
+            params: SimParams::default(),
+        });
+    }
+    c
+}
+
+/// Drop the host-wall-clock self-profiling metrics: they time the
+/// simulator process, so two runs of the same simulation legitimately
+/// differ there. Everything else must match bit-for-bit.
+fn strip_host_metrics(mut snap: MetricsSnapshot) -> MetricsSnapshot {
+    snap.counters.retain(|k, _| !k.ends_with(".wall_us"));
+    snap.gauges.retain(|k, _| k != "prof.rss_peak_kb");
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For a random queue simulation, the replayed stream carries the
+    /// same simulation-derived telemetry as the in-memory recorder, and
+    /// neither recorder perturbs the simulation itself.
+    #[test]
+    fn stream_replay_matches_mem_over_random_runs(
+        count in 3usize..12,
+        seed in any::<u64>(),
+        window_s in 2u64..9,
+        mapreduce in any::<bool>(),
+    ) {
+        let window_us = window_s * 1_000_000;
+        let s = state();
+
+        let mem = MemRecorder::new();
+        let mem_result = run_recorded(&s, cfg(count, seed, window_us, mapreduce), &mem);
+
+        let stream = StreamingRecorder::new(Vec::new());
+        let stream_result = run_recorded(&s, cfg(count, seed, window_us, mapreduce), &stream);
+        let bytes = stream.finish().expect("Vec sink cannot fail");
+        let merged = replay_jsonl(&String::from_utf8(bytes).expect("UTF-8 stream"))
+            .expect("own stream replays");
+
+        prop_assert_eq!(mem_result.outcomes, stream_result.outcomes);
+        prop_assert_eq!(merged.open_spans, 0);
+        // Windowed ts.* series are emitted in sim-time order, so they
+        // must survive the stream untouched. Per-job series (link
+        // utilization) interleave across jobs in emission order while
+        // replay merges by sim time — compare those as time-sorted
+        // multisets.
+        let mem_series = mem.counter_series();
+        for (name, replayed) in &merged.counter_series {
+            let original = &mem_series[name];
+            if name.starts_with("ts.") {
+                prop_assert_eq!(original, replayed, "ts series {} reordered", name);
+            } else {
+                let mut sorted = original.clone();
+                sorted.sort_by_key(|&(t, _)| t);
+                prop_assert_eq!(&sorted, replayed, "series {} diverged", name);
+            }
+        }
+        prop_assert_eq!(mem_series.len(), merged.counter_series.len());
+        prop_assert_eq!(mem.track_names(), merged.track_names);
+        prop_assert_eq!(
+            strip_host_metrics(mem.metrics()),
+            strip_host_metrics(merged.metrics)
+        );
+        prop_assert_eq!(mem.spans().len(), merged.spans.len());
+        prop_assert_eq!(mem.events().len(), merged.events.len());
+    }
+}

@@ -241,7 +241,7 @@ struct Sim<'a, R: Recorder> {
 /// # Panics
 /// Panics on invalid configuration (zero reducers, empty cluster, …).
 pub fn simulate_job(cluster: &VirtualCluster, job: &JobConfig, params: &SimParams) -> JobMetrics {
-    simulate_job_with(cluster, job, params, &NoopRecorder, 0, 0)
+    simulate_job_with(cluster, job, params, &NoopRecorder, 0, 0, None).0
 }
 
 /// [`simulate_job`] with observability: spans, events and metrics land on
@@ -260,7 +260,28 @@ pub fn simulate_job_traced(
     track_base: u64,
     t0_us: u64,
 ) -> JobMetrics {
-    simulate_job_with(cluster, job, params, &rec, track_base, t0_us)
+    simulate_job_with(cluster, job, params, &rec, track_base, t0_us, None).0
+}
+
+/// [`simulate_job_traced`] plus a windowed cross-rack traffic rollup:
+/// when `window_us` is set, the job's `FlowNet` apportions every RackUp
+/// byte it drains over absolute sim-time windows (`t0_us` maps the
+/// job-local clock onto the shared timeline), returned as sorted
+/// `(window_index, bytes)` pairs for the `ts.net.*` time-series. The
+/// rollup is pure observation — metrics are identical with it on or off.
+///
+/// # Panics
+/// Panics on invalid configuration (zero reducers, empty cluster, …).
+pub fn simulate_job_traced_windowed(
+    cluster: &VirtualCluster,
+    job: &JobConfig,
+    params: &SimParams,
+    rec: &dyn Recorder,
+    track_base: u64,
+    t0_us: u64,
+    window_us: Option<u64>,
+) -> (JobMetrics, Vec<(u64, f64)>) {
+    simulate_job_with(cluster, job, params, &rec, track_base, t0_us, window_us)
 }
 
 fn simulate_job_with<R: Recorder>(
@@ -270,7 +291,8 @@ fn simulate_job_with<R: Recorder>(
     rec: &R,
     track_base: u64,
     t0_us: u64,
-) -> JobMetrics {
+    window_us: Option<u64>,
+) -> (JobMetrics, Vec<(u64, f64)>) {
     job.validate();
     let mut rng = StdRng::seed_from_u64(params.seed);
     let num_maps = job.num_maps();
@@ -334,6 +356,9 @@ fn simulate_job_with<R: Recorder>(
     // accumulators inside FlowNet run unconditionally, so recorded and
     // unrecorded runs stay bit-identical.
     net.set_sampling(rec.enabled());
+    if let Some(w) = window_us {
+        net.set_window_rollup(w, t0_us);
+    }
     let mut sim = Sim {
         rec,
         track_base,
@@ -366,7 +391,9 @@ fn simulate_job_with<R: Recorder>(
         outstanding_fetch_flows: 0,
         shuffle_bottleneck_bytes: BTreeMap::new(),
     };
-    sim.run()
+    let metrics = sim.run();
+    let rollup = sim.net.take_window_rollup();
+    (metrics, rollup)
 }
 
 const MB: f64 = 1_000_000.0;

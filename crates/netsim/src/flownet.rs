@@ -179,6 +179,49 @@ pub struct FlowNet {
     win_scratch: Vec<Vec<(f64, f64)>>,
     /// Links with pending windows in `win_scratch` this advance.
     win_touched: Vec<usize>,
+    /// Optional fixed-window rollup of cross-rack (RackUp) traffic for
+    /// the `ts.*` time-series layer. Off by default; pure observation —
+    /// never feeds back into rates or completion times.
+    win_rollup: Option<WindowRollup>,
+}
+
+/// Windowed RackUp byte rollup: drained bytes apportioned over absolute
+/// sim-time windows of fixed width. `offset_us` maps this net's local
+/// clock (a per-job engine runs its `FlowNet` from t=0) onto global sim
+/// time.
+#[derive(Debug, Default)]
+struct WindowRollup {
+    window_us: u64,
+    offset_us: u64,
+    /// Window index → RackUp bytes drained within that window.
+    bytes: BTreeMap<u64, f64>,
+}
+
+impl WindowRollup {
+    /// Spread `bytes` uniformly over the absolute interval
+    /// `[start_us, end_us)` across window boundaries.
+    fn add_span(&mut self, start_us: f64, end_us: f64, bytes: f64) {
+        if bytes <= 0.0 {
+            return;
+        }
+        let w = self.window_us as f64;
+        if end_us <= start_us {
+            let idx = (start_us / w) as u64;
+            *self.bytes.entry(idx).or_insert(0.0) += bytes;
+            return;
+        }
+        let rate = bytes / (end_us - start_us);
+        let mut t = start_us;
+        while t < end_us {
+            let idx = (t / w) as u64;
+            let seg_end = (w * (idx + 1) as f64).min(end_us);
+            *self.bytes.entry(idx).or_insert(0.0) += rate * (seg_end - t);
+            if seg_end <= t {
+                break; // f64 guard: a zero-width segment must not loop
+            }
+            t = seg_end;
+        }
+    }
 }
 
 /// Always-on effort counters for the max-min fair-share solver — the
@@ -300,6 +343,7 @@ impl FlowNet {
             binding_now: vec![false; nr],
             win_scratch: vec![Vec::new(); nr],
             win_touched: Vec::new(),
+            win_rollup: None,
         }
     }
 
@@ -346,6 +390,28 @@ impl FlowNet {
     /// drain (empty unless [`set_sampling`](Self::set_sampling) is on).
     pub fn drain_link_samples(&mut self) -> Vec<LinkSample> {
         std::mem::take(&mut self.samples)
+    }
+
+    /// Enable the windowed RackUp byte rollup: `window_us`-wide windows
+    /// over `offset_us + local_clock` absolute sim time. Off by default
+    /// (no cost and no behavior change when unset).
+    pub fn set_window_rollup(&mut self, window_us: u64, offset_us: u64) {
+        assert!(window_us > 0, "rollup window must be positive");
+        self.win_rollup = Some(WindowRollup {
+            window_us,
+            offset_us,
+            bytes: BTreeMap::new(),
+        });
+    }
+
+    /// Drain the windowed rollup accumulated so far as sorted
+    /// `(window_index, rack_up_bytes)` pairs. Empty when the rollup is
+    /// disabled. The rollup stays enabled after draining.
+    pub fn take_window_rollup(&mut self) -> Vec<(u64, f64)> {
+        match self.win_rollup.as_mut() {
+            Some(roll) => std::mem::take(&mut roll.bytes).into_iter().collect(),
+            None => Vec::new(),
+        }
     }
 
     fn tx(&self, node: NodeId) -> usize {
@@ -493,12 +559,29 @@ impl FlowNet {
                 let drained = before - flow.remaining_bytes;
                 if drained > 0.0 {
                     let end = (lat + drained / flow.rate).min(elapsed);
+                    let mut rack_up_hits = 0u32;
                     for &r in &flow.resources {
                         self.stats[r].bytes_total += drained;
                         if self.win_scratch[r].is_empty() {
                             self.win_touched.push(r);
                         }
                         self.win_scratch[r].push((lat, end));
+                        if self.links[r].class == LinkClass::RackUp {
+                            rack_up_hits += 1;
+                        }
+                    }
+                    if rack_up_hits > 0 {
+                        if let Some(roll) = self.win_rollup.as_mut() {
+                            // `lat`/`end` are relative to the interval
+                            // start (now − elapsed); map to absolute sim
+                            // time through the configured offset.
+                            let base = now.as_micros() as f64 - elapsed + roll.offset_us as f64;
+                            roll.add_span(
+                                base + lat,
+                                base + end,
+                                drained * f64::from(rack_up_hits),
+                            );
+                        }
                     }
                 }
             }
@@ -1293,6 +1376,55 @@ mod tests {
         quiet.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000, 0);
         run_to_completion(&mut quiet);
         assert!(quiet.drain_link_samples().is_empty());
+    }
+
+    #[test]
+    fn window_rollup_partitions_rack_up_bytes() {
+        // Cross-rack: node0 (rack 0) → node3 (rack 1) crosses rack0.up.
+        let mut n = net();
+        n.set_window_rollup(1_000, 0);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 50_000_000, 0);
+        run_to_completion(&mut n);
+        let roll = n.take_window_rollup();
+        assert!(!roll.is_empty());
+        let total: f64 = roll.iter().map(|&(_, b)| b).sum();
+        assert!(
+            (total - 50_000_000.0).abs() < 1.0,
+            "rollup total {total} != flow bytes"
+        );
+        // Windows are contiguous from 0 while the flow transfers.
+        for (i, &(idx, bytes)) in roll.iter().enumerate() {
+            assert_eq!(idx, i as u64, "gap in rollup windows: {roll:?}");
+            assert!(bytes > 0.0);
+        }
+        // Draining leaves the rollup armed but empty.
+        assert!(n.take_window_rollup().is_empty());
+
+        // Same-rack traffic never touches a RackUp link.
+        let mut local = net();
+        local.set_window_rollup(1_000, 0);
+        local.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, 0);
+        run_to_completion(&mut local);
+        assert!(local.take_window_rollup().is_empty());
+
+        // The offset shifts which absolute windows accrue.
+        let mut shifted = net();
+        shifted.set_window_rollup(1_000, 5_000);
+        shifted.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 1_000_000, 0);
+        run_to_completion(&mut shifted);
+        let roll = shifted.take_window_rollup();
+        assert!(roll.iter().all(|&(idx, _)| idx >= 5), "{roll:?}");
+
+        // Rollup is pure observation: completion times are unchanged.
+        let mut plain = net();
+        plain.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 50_000_000, 0);
+        let mut rolled = net();
+        rolled.set_window_rollup(1_000, 0);
+        rolled.start_flow(SimTime::ZERO, NodeId(0), NodeId(3), 50_000_000, 0);
+        assert_eq!(
+            run_to_completion(&mut plain),
+            run_to_completion(&mut rolled)
+        );
     }
 
     #[test]

@@ -32,14 +32,18 @@ pub mod prof;
 pub mod prom;
 pub mod recorder;
 pub mod sharded;
+pub mod stream;
+pub mod timeseries;
 pub mod trace;
 
 pub use critical_path::{analyze, Category, JobAttribution, Segment, TraceDump, CATEGORIES};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use prof::{Phase, PhaseTimer};
-pub use prom::to_prometheus;
+pub use prom::{to_prometheus, to_prometheus_windowed};
 pub use recorder::{
     AttrValue, EventRecord, MemRecorder, NoopRecorder, Recorder, SpanId, SpanRecord, TrackId,
 };
 pub use sharded::{MergedTrace, ShardedRecorder};
+pub use stream::{replay_jsonl, StreamingRecorder};
+pub use timeseries::{TimeSeriesSet, WindowSampler, TS_PREFIX};
 pub use trace::{chrome_trace, chrome_trace_sharded};

@@ -154,11 +154,10 @@ impl<R: Recorder + ?Sized> Drop for PhaseTimer<'_, R> {
     }
 }
 
-/// Peak resident set size of this process in kilobytes, from
-/// `VmHWM` in `/proc/self/status`. `None` off Linux or if the field is
-/// missing — callers should skip the gauge rather than record 0.
-pub fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+/// Parse the `VmHWM` (peak RSS, kB) field out of a `/proc/<pid>/status`
+/// document. `None` when the field is absent or malformed — callers
+/// must skip the gauge rather than record 0.
+pub fn parse_vm_hwm(status: &str) -> Option<u64> {
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix("VmHWM:") {
             return rest
@@ -170,6 +169,14 @@ pub fn peak_rss_kb() -> Option<u64> {
         }
     }
     None
+}
+
+/// Peak resident set size of this process in kilobytes, from
+/// `VmHWM` in `/proc/self/status`. `None` off Linux or if the field is
+/// missing — callers should skip the gauge rather than record 0.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
 }
 
 /// Record the process peak RSS as the `prof.rss_peak_kb` gauge if the
@@ -233,6 +240,22 @@ mod tests {
         let t = PhaseTimer::start(&rec, SERVE);
         assert!(t.start.is_none());
         drop(t);
+    }
+
+    #[test]
+    fn vm_hwm_parse_path() {
+        assert_eq!(
+            parse_vm_hwm("Name:\tvc\nVmPeak:\t  999 kB\nVmHWM:\t    1234 kB\n"),
+            Some(1234)
+        );
+        // Tolerates missing unit suffix and extra whitespace.
+        assert_eq!(parse_vm_hwm("VmHWM:   42\n"), Some(42));
+        // Missing field: degrade to None, never 0.
+        assert_eq!(parse_vm_hwm("Name:\tvc\nVmPeak:\t999 kB\n"), None);
+        assert_eq!(parse_vm_hwm(""), None);
+        // Garbage value: None, not a panic or 0.
+        assert_eq!(parse_vm_hwm("VmHWM:\tlots kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\n"), None);
     }
 
     #[test]

@@ -42,14 +42,46 @@ fn bucket_upper_bound(i: u32) -> u64 {
 
 /// Encode a snapshot in the Prometheus text exposition format.
 pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    to_prometheus_windowed(snap, 0, &crate::timeseries::TimeSeriesSet::default())
+}
+
+/// Encode a snapshot plus windowed `ts.*` time-series. Each windowed
+/// sample exports as `name{window="K",t_us="E"} v`, where `K` is the
+/// window index for the edge `E` (see
+/// [`WindowSampler::window_index`](crate::timeseries::WindowSampler::window_index)).
+/// A plain gauge whose name also has a windowed series is skipped —
+/// `counter_sample` mirrors every sample into a gauge, and exporting
+/// both would collide on the same family with inconsistent labels.
+pub fn to_prometheus_windowed(
+    snap: &MetricsSnapshot,
+    window_us: u64,
+    series: &crate::timeseries::TimeSeriesSet,
+) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
         let n = sanitize_name(name);
         out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
     }
     for (name, v) in &snap.gauges {
+        if series.series.contains_key(name.as_str()) {
+            continue;
+        }
         let n = sanitize_name(name);
         out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, points) in &series.series {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n"));
+        for &(edge_us, value) in points {
+            let window = if window_us > 0 {
+                crate::timeseries::WindowSampler::window_index(window_us, edge_us)
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "{n}{{window=\"{window}\",t_us=\"{edge_us}\"}} {value}\n"
+            ));
+        }
     }
     for (name, h) in &snap.histograms {
         let n = sanitize_name(name);
@@ -124,5 +156,35 @@ mod tests {
     fn empty_snapshot_encodes_empty() {
         let reg = MetricsRegistry::new();
         assert_eq!(to_prometheus(&reg.snapshot()), "");
+    }
+
+    #[test]
+    fn windowed_series_export_with_labels() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("des.events_processed", 7);
+        // counter_sample mirrors the last ts.* value into a plain gauge;
+        // the windowed exporter must skip that gauge in favor of the
+        // labeled series.
+        reg.gauge_set("ts.cloud.fill", 0.5);
+        reg.gauge_set("prof.rss_peak_kb", 64.0);
+        let mut series = crate::timeseries::TimeSeriesSet::default();
+        series
+            .series
+            .insert("ts.cloud.fill".to_string(), vec![(100, 0.25), (150, 0.5)]);
+        let text = to_prometheus_windowed(&reg.snapshot(), 100, &series);
+        assert!(text.contains("# TYPE ts_cloud_fill gauge\n"), "{text}");
+        assert!(
+            text.contains("ts_cloud_fill{window=\"0\",t_us=\"100\"} 0.25\n"),
+            "{text}"
+        );
+        // Partial final edge 150 lands in window 1.
+        assert!(
+            text.contains("ts_cloud_fill{window=\"1\",t_us=\"150\"} 0.5\n"),
+            "{text}"
+        );
+        // The colliding plain gauge is suppressed; others survive.
+        assert!(!text.contains("ts_cloud_fill 0.5\n"), "{text}");
+        assert!(text.contains("prof_rss_peak_kb 64\n"), "{text}");
+        assert!(text.contains("des_events_processed 7\n"), "{text}");
     }
 }

@@ -333,6 +333,39 @@ struct MemInner {
     counter_series: BTreeMap<&'static str, Vec<(u64, f64)>>,
     metrics: MetricsRegistry,
     next_span: u64,
+    /// Per-series high-water sample timestamp: the gauge mirror of
+    /// [`Recorder::counter_sample`] only applies in-sim-time-order
+    /// samples, so the final gauge value matches a `(t_us, seq)`-sorted
+    /// replay of the same stream (`ShardedRecorder::merged`,
+    /// `stream::replay_jsonl`) even when overlapping jobs emit the same
+    /// series at out-of-order timestamps.
+    sample_last_t: BTreeMap<&'static str, u64>,
+    /// Soft cap on buffered trace items (events + spans + series
+    /// points). `None` = unbounded.
+    trace_cap: Option<usize>,
+    trace_items: usize,
+    overflowed: bool,
+}
+
+impl MemInner {
+    /// Whether one more trace item may be buffered. On the first refusal
+    /// records the one-time `obs.recorder.overflow` counter. Metrics are
+    /// never dropped — only spans, events, and series points are.
+    fn admit_trace_item(&mut self) -> bool {
+        match self.trace_cap {
+            Some(cap) if self.trace_items >= cap => {
+                if !self.overflowed {
+                    self.overflowed = true;
+                    self.metrics.counter_add("obs.recorder.overflow", 1);
+                }
+                false
+            }
+            _ => {
+                self.trace_items += 1;
+                true
+            }
+        }
+    }
 }
 
 /// Buffering recorder for single-threaded simulations. Interior
@@ -346,6 +379,22 @@ pub struct MemRecorder {
 impl MemRecorder {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A recorder that buffers at most `cap` trace items (events, spans,
+    /// and counter-series points combined). Past the cap, trace items
+    /// are dropped — `span_begin` returns [`SpanId::NULL`] — and the
+    /// one-time `obs.recorder.overflow` counter is set; metrics
+    /// (counters/gauges/histograms) are always recorded in full.
+    pub fn with_trace_cap(cap: usize) -> Self {
+        let r = Self::default();
+        r.inner.borrow_mut().trace_cap = Some(cap);
+        r
+    }
+
+    /// True once the trace cap has dropped at least one item.
+    pub fn overflowed(&self) -> bool {
+        self.inner.borrow().overflowed
     }
 
     pub fn events(&self) -> Vec<EventRecord> {
@@ -400,12 +449,25 @@ impl Recorder for MemRecorder {
 
     fn counter_sample(&self, name: &'static str, t_us: u64, value: f64) {
         let mut inner = self.inner.borrow_mut();
-        inner.metrics.gauge_set(name, value);
-        inner
-            .counter_series
-            .entry(name)
-            .or_default()
-            .push((t_us, value));
+        let apply = {
+            let last = inner.sample_last_t.entry(name).or_insert(0);
+            if t_us >= *last {
+                *last = t_us;
+                true
+            } else {
+                false
+            }
+        };
+        if apply {
+            inner.metrics.gauge_set(name, value);
+        }
+        if inner.admit_trace_item() {
+            inner
+                .counter_series
+                .entry(name)
+                .or_default()
+                .push((t_us, value));
+        }
     }
 
     fn track_name(&self, track: TrackId, name: &str) {
@@ -416,7 +478,11 @@ impl Recorder for MemRecorder {
     }
 
     fn event(&self, name: &'static str, t_us: u64, track: Option<TrackId>, attrs: &[Attr]) {
-        self.inner.borrow_mut().events.push(EventRecord {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.admit_trace_item() {
+            return;
+        }
+        inner.events.push(EventRecord {
             name,
             t_us,
             track,
@@ -426,6 +492,9 @@ impl Recorder for MemRecorder {
 
     fn span_begin(&self, track: TrackId, name: &'static str, t_us: u64, attrs: &[Attr]) -> SpanId {
         let mut inner = self.inner.borrow_mut();
+        if !inner.admit_trace_item() {
+            return SpanId::NULL;
+        }
         inner.next_span += 1;
         let id = SpanId(inner.next_span);
         let index = inner.spans.len();
@@ -517,5 +586,53 @@ mod tests {
         r.counter_sample("queue.depth", 10, 2.0);
         let series = r.counter_series();
         assert_eq!(series["queue.depth"], vec![(0, 1.0), (10, 2.0)]);
+    }
+
+    #[test]
+    fn counter_sample_gauge_is_last_in_sim_time() {
+        // Overlapping jobs can emit the same series with out-of-order
+        // timestamps; the gauge mirror must settle on the sample with
+        // the largest t_us (program order breaking ties), matching a
+        // (t_us, seq)-sorted replay of the same stream.
+        let r = MemRecorder::new();
+        r.counter_sample("util", 100, 0.9);
+        r.counter_sample("util", 40, 0.1); // stale: earlier sim time
+        assert_eq!(r.metrics().gauges["util"], 0.9);
+        r.counter_sample("util", 100, 0.5); // same t: later wins
+        assert_eq!(r.metrics().gauges["util"], 0.5);
+        r.counter_sample("util", 200, 0.2);
+        assert_eq!(r.metrics().gauges["util"], 0.2);
+        // The series itself keeps every point in arrival order.
+        assert_eq!(r.counter_series()["util"].len(), 4);
+    }
+
+    #[test]
+    fn trace_cap_drops_trace_items_never_metrics() {
+        let r = MemRecorder::with_trace_cap(2);
+        r.event("a", 0, None, &[]);
+        let s = r.span_begin(TrackId(0), "kept", 1, &[]);
+        assert!(!s.is_null());
+        r.span_end(s, 2);
+        assert!(!r.overflowed());
+
+        // Cap reached: trace items are dropped from here on.
+        r.event("b", 3, None, &[]);
+        let dropped = r.span_begin(TrackId(0), "dropped", 4, &[]);
+        assert!(dropped.is_null());
+        r.counter_sample("q", 5, 1.0);
+        assert!(r.overflowed());
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.spans().len(), 1);
+        assert!(r.counter_series().is_empty());
+
+        // Metrics still record in full, plus the one-time overflow mark.
+        r.counter_add("c", 7);
+        r.histogram_record("h", 9);
+        let m = r.metrics();
+        assert_eq!(m.counters["c"], 7);
+        assert_eq!(m.counters["obs.recorder.overflow"], 1);
+        assert_eq!(m.histograms["h"].count, 1);
+        // counter_sample past the cap still updates the gauge.
+        assert_eq!(m.gauges["q"], 1.0);
     }
 }

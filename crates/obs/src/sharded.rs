@@ -31,7 +31,7 @@ use crate::recorder::{Attr, AttrValue, EventRecord, Recorder, SpanId, SpanRecord
 /// timestamp so the `(t_us, seq)` merge keeps them adjacent to the
 /// surrounding timeline activity.
 #[derive(Clone, Debug)]
-enum Op {
+pub(crate) enum Op {
     CounterAdd {
         name: &'static str,
         delta: u64,
@@ -78,10 +78,76 @@ enum Op {
 }
 
 #[derive(Clone, Debug)]
-struct StampedOp {
-    t_us: u64,
-    seq: u64,
-    op: Op,
+pub(crate) struct StampedOp {
+    pub(crate) t_us: u64,
+    pub(crate) seq: u64,
+    pub(crate) op: Op,
+}
+
+/// Sort an op log by `(t_us, seq)` and replay it into a [`MergedTrace`].
+/// Shared by [`ShardedRecorder::merged`] and the JSONL stream replay in
+/// [`crate::stream`], so both views have identical merge semantics.
+pub(crate) fn replay_ops(mut ops: Vec<StampedOp>) -> MergedTrace {
+    // seq is globally unique, so this order is total and respects
+    // both per-thread program order and cross-thread causality.
+    ops.sort_by_key(|op| (op.t_us, op.seq));
+
+    let mut out = MergedTrace::default();
+    let mut metrics = MetricsRegistry::default();
+    let mut open: HashMap<u64, usize> = HashMap::new();
+    for StampedOp { t_us, op, .. } in ops {
+        match op {
+            Op::CounterAdd { name, delta } => metrics.counter_add(name, delta),
+            Op::GaugeSet { name, value } => metrics.gauge_set(name, value),
+            Op::GaugeMax { name, value } => metrics.gauge_max(name, value),
+            Op::HistRecord { name, value } => metrics.histogram_record(name, value),
+            Op::CounterSample { name, value } => {
+                metrics.gauge_set(name, value);
+                out.counter_series
+                    .entry(name)
+                    .or_default()
+                    .push((t_us, value));
+            }
+            Op::TrackName { track, name } => {
+                out.track_names.insert(track, name);
+            }
+            Op::Event { name, track, attrs } => out.events.push(EventRecord {
+                name,
+                t_us,
+                track,
+                attrs,
+            }),
+            Op::SpanBegin {
+                id,
+                track,
+                name,
+                attrs,
+            } => {
+                open.insert(id, out.spans.len());
+                out.spans.push(SpanRecord {
+                    id: SpanId(id),
+                    track,
+                    name,
+                    start_us: t_us,
+                    end_us: None,
+                    attrs,
+                });
+            }
+            Op::SpanEnd { id } => {
+                if let Some(index) = open.remove(&id) {
+                    out.spans[index].end_us = Some(t_us);
+                }
+            }
+            Op::SpanAttr { id, key, value } => {
+                if let Some(&index) = open.get(&id) {
+                    out.spans[index].attrs.push((key, value));
+                }
+            }
+        }
+    }
+    out.open_spans = open.len();
+    out.metrics = metrics.snapshot();
+    out
 }
 
 #[derive(Debug, Default)]
@@ -193,66 +259,7 @@ impl ShardedRecorder {
                 );
             }
         }
-        // seq is globally unique, so this order is total and respects
-        // both per-thread program order and cross-thread causality.
-        ops.sort_by_key(|op| (op.t_us, op.seq));
-
-        let mut out = MergedTrace::default();
-        let mut metrics = MetricsRegistry::default();
-        let mut open: HashMap<u64, usize> = HashMap::new();
-        for StampedOp { t_us, op, .. } in ops {
-            match op {
-                Op::CounterAdd { name, delta } => metrics.counter_add(name, delta),
-                Op::GaugeSet { name, value } => metrics.gauge_set(name, value),
-                Op::GaugeMax { name, value } => metrics.gauge_max(name, value),
-                Op::HistRecord { name, value } => metrics.histogram_record(name, value),
-                Op::CounterSample { name, value } => {
-                    metrics.gauge_set(name, value);
-                    out.counter_series
-                        .entry(name)
-                        .or_default()
-                        .push((t_us, value));
-                }
-                Op::TrackName { track, name } => {
-                    out.track_names.insert(track, name);
-                }
-                Op::Event { name, track, attrs } => out.events.push(EventRecord {
-                    name,
-                    t_us,
-                    track,
-                    attrs,
-                }),
-                Op::SpanBegin {
-                    id,
-                    track,
-                    name,
-                    attrs,
-                } => {
-                    open.insert(id, out.spans.len());
-                    out.spans.push(SpanRecord {
-                        id: SpanId(id),
-                        track,
-                        name,
-                        start_us: t_us,
-                        end_us: None,
-                        attrs,
-                    });
-                }
-                Op::SpanEnd { id } => {
-                    if let Some(index) = open.remove(&id) {
-                        out.spans[index].end_us = Some(t_us);
-                    }
-                }
-                Op::SpanAttr { id, key, value } => {
-                    if let Some(&index) = open.get(&id) {
-                        out.spans[index].attrs.push((key, value));
-                    }
-                }
-            }
-        }
-        out.open_spans = open.len();
-        out.metrics = metrics.snapshot();
-        out
+        replay_ops(ops)
     }
 
     pub fn spans(&self) -> Vec<SpanRecord> {

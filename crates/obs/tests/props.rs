@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use vc_obs::metrics::{bucket_index, bucket_lower_bound, Histogram, NUM_BUCKETS};
 use vc_obs::{
-    AttrValue, EventRecord, MemRecorder, MetricsSnapshot, Recorder, ShardedRecorder, SpanRecord,
-    TrackId,
+    replay_jsonl, AttrValue, EventRecord, MemRecorder, MetricsSnapshot, Recorder, ShardedRecorder,
+    SpanRecord, StreamingRecorder, TrackId,
 };
 
 const CTR_NAMES: [&str; 4] = ["m.a", "m.b", "m.c", "m.d"];
@@ -16,6 +16,39 @@ const EVT_NAMES: [&str; 3] = ["ev.x", "ev.y", "ev.z"];
 /// counter / histogram / event / span / track-name; `a` and `b` feed
 /// names, timestamps and attribute payloads.
 type RecOp = (usize, usize, u64, u64);
+
+/// Sequential op applier covering the full recorder surface, including
+/// the gauge and windowed-sample paths the thread-partitioned
+/// [`apply_ops`] must avoid (their merge result is order-sensitive).
+/// Timestamps advance monotonically, as the DES clock guarantees for a
+/// real single-threaded run — replay merges by (time, sequence), so a
+/// well-formed stream replays in emission order.
+fn apply_ops_seq(rec: &dyn Recorder, ops: &[RecOp]) {
+    let mut now = 0u64;
+    for &(_, kind, a, b) in ops {
+        now += b % 1000;
+        let track = TrackId(a % 3);
+        match kind {
+            0 => rec.counter_add(CTR_NAMES[(a % 4) as usize], b % 1000 + 1),
+            1 => rec.histogram_record(CTR_NAMES[(a % 4) as usize], b),
+            2 => rec.event(
+                EVT_NAMES[(a % 3) as usize],
+                now,
+                Some(track),
+                &[("v", AttrValue::from(a))],
+            ),
+            3 => {
+                let id = rec.span_begin(track, "work", now, &[("v", AttrValue::from(a))]);
+                rec.span_attr(id, "extra", AttrValue::from(b));
+                rec.span_end(id, now + a % 100);
+            }
+            4 => rec.track_name(track, &format!("track-{}", a % 3)),
+            5 => rec.gauge_set(CTR_NAMES[(a % 4) as usize], b as f64 / 7.0),
+            6 => rec.gauge_max(CTR_NAMES[(a % 4) as usize], b as f64 / 3.0),
+            _ => rec.counter_sample("ts.prop.series", now, a as f64 / 11.0),
+        }
+    }
+}
 
 fn apply_ops(rec: &dyn Recorder, ops: &[RecOp]) {
     for &(_, kind, a, b) in ops {
@@ -185,5 +218,39 @@ proptest! {
         mem_events.sort();
         sh_events.sort();
         prop_assert_eq!(mem_events, sh_events);
+    }
+
+    /// A [`StreamingRecorder`]'s flushed JSONL, replayed, reproduces the
+    /// [`MemRecorder`] view of the same op sequence bit-for-bit: same
+    /// metrics snapshot (gauges included — last-write and running-max
+    /// semantics survive the stream), same track names, same counter
+    /// series, and the same spans and events *in order* (single-threaded
+    /// emission order is preserved through flush and replay).
+    #[test]
+    fn streaming_replay_matches_mem_bitwise(
+        ops in proptest::collection::vec(
+            (0usize..1, 0usize..8, any::<u64>(), 0u64..10_000),
+            0..100,
+        )
+    ) {
+        let mem = MemRecorder::new();
+        apply_ops_seq(&mem, &ops);
+
+        let stream = StreamingRecorder::new(Vec::new());
+        apply_ops_seq(&stream, &ops);
+        let bytes = stream.finish().expect("Vec sink cannot fail");
+        let text = String::from_utf8(bytes).expect("stream is UTF-8 JSONL");
+        let merged = replay_jsonl(&text).expect("own stream replays");
+
+        prop_assert_eq!(merged.open_spans, 0);
+        prop_assert_eq!(mem.metrics(), merged.metrics);
+        prop_assert_eq!(mem.track_names(), merged.track_names);
+        prop_assert_eq!(mem.counter_series(), merged.counter_series);
+        let mem_spans: Vec<_> = mem.spans().iter().map(span_key).collect();
+        let st_spans: Vec<_> = merged.spans.iter().map(span_key).collect();
+        prop_assert_eq!(mem_spans, st_spans, "span order must survive the stream");
+        let mem_events: Vec<_> = mem.events().iter().map(event_key).collect();
+        let st_events: Vec<_> = merged.events.iter().map(event_key).collect();
+        prop_assert_eq!(mem_events, st_events, "event order must survive the stream");
     }
 }
