@@ -27,7 +27,14 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Boolean switches that take no value.
-const SWITCHES: &[&str] = &["json", "speculative", "network", "perf", "timeline"];
+const SWITCHES: &[&str] = &[
+    "json",
+    "speculative",
+    "network",
+    "perf",
+    "timeline",
+    "health",
+];
 
 /// Parsed `--key value` pairs and switches.
 #[derive(Debug, Clone, Default)]

@@ -15,8 +15,8 @@ use vc_model::workload::RequestProfile;
 use vc_model::{ClusterState, Request, VmCatalog};
 use vc_netsim::NetworkParams;
 use vc_obs::{
-    MemRecorder, MergedTrace, MetricsSnapshot, Recorder, ShardedRecorder, StreamingRecorder,
-    TimeSeriesSet, TraceDump, TS_PREFIX,
+    HealthPolicy, MemRecorder, MergedTrace, MetricsSnapshot, Recorder, Severity, ShardedRecorder,
+    StreamingRecorder, TimeSeriesSet, TraceDump, ALERT_PREFIX, TS_PREFIX,
 };
 use vc_placement::distance::distance_with_center;
 use vc_placement::global::Admission;
@@ -88,6 +88,44 @@ fn wants_observability(p: &Parsed) -> bool {
         || !p.str_or("prom-out", "").is_empty()
         || !p.str_or("series-out", "").is_empty()
         || !p.str_or("stream-out", "").is_empty()
+}
+
+/// Flag names shared by every command that accepts the health watchdog.
+const HEALTH_OPTIONS: &[&str] = &[
+    "health",
+    "health-audit-events",
+    "health-uplink-util",
+    "health-uplink-windows",
+    "health-frag-windows",
+    "health-queue-windows",
+];
+
+/// The [`HealthPolicy`] selected by `--health` and its tuning flags.
+/// `--health` alone enables the watchdog with defaults; any
+/// `--health-*` tuning flag implies it. `None` when no health flag was
+/// given at all.
+fn health_policy(p: &Parsed) -> Result<Option<HealthPolicy>, ArgError> {
+    let tuned = HEALTH_OPTIONS[1..]
+        .iter()
+        .any(|k| !p.str_or(k, "").is_empty());
+    if !p.switch("health") && !tuned {
+        return Ok(None);
+    }
+    let d = HealthPolicy::default();
+    let policy = HealthPolicy {
+        audit_every_events: p.num_or("health-audit-events", d.audit_every_events)?,
+        uplink_util: p.num_or("health-uplink-util", d.uplink_util)?,
+        uplink_windows: p.num_or("health-uplink-windows", d.uplink_windows)?,
+        frag_windows: p.num_or("health-frag-windows", d.frag_windows)?,
+        queue_windows: p.num_or("health-queue-windows", d.queue_windows)?,
+        ..d
+    };
+    if !(0.0..=1.0).contains(&policy.uplink_util) {
+        return Err(ArgError::new(
+            "--health-uplink-util must be a fraction in [0, 1]",
+        ));
+    }
+    Ok(Some(policy))
 }
 
 /// The `ts.*` sampling cadence from `--window-us` (0/absent = off).
@@ -459,6 +497,12 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
         "stream-out",
         "window-us",
         "placement-threads",
+        "health",
+        "health-audit-events",
+        "health-uplink-util",
+        "health-uplink-windows",
+        "health-frag-windows",
+        "health-queue-windows",
     ])?;
     let cloud = build_cloud(p)?;
     let count = p.num_or("requests", 20usize)?;
@@ -497,7 +541,14 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
     if let Some(w) = ts_window(p)? {
         config = config.with_timeseries(w);
     }
-    let result = if wants_observability(p) {
+    let health = health_policy(p)?;
+    let audited = health.is_some();
+    if let Some(h) = health {
+        config = config.with_health(h);
+    }
+    // The watchdog only runs against a live recorder, so `--health`
+    // forces the recorded path even without an `--*-out` export.
+    let result = if wants_observability(p) || audited {
         let mut rec = CliRecorder::build(p, p.num_or("placement-threads", 1usize)?)?;
         let result = vc_cloudsim::sim::run_recorded(&cloud, config, rec.as_recorder());
         write_observability(p, &mut rec)?;
@@ -564,6 +615,12 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
         "stream-out",
         "window-us",
         "placement-threads",
+        "health",
+        "health-audit-events",
+        "health-uplink-util",
+        "health-uplink-windows",
+        "health-frag-windows",
+        "health-queue-windows",
     ])?;
     let cloud = build_cloud(p)?;
     let count = p.num_or("requests", 10usize)?;
@@ -617,6 +674,9 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
     let mut config = SimConfig::new(trace, mode, seed).with_service(service);
     if let Some(w) = ts_window(p)? {
         config = config.with_timeseries(w);
+    }
+    if let Some(h) = health_policy(p)? {
+        config = config.with_health(h);
     }
     let mut rec = CliRecorder::build(p, p.num_or("placement-threads", 1usize)?)?;
     let result = vc_cloudsim::sim::run_recorded(&cloud, config, rec.as_recorder());
@@ -1019,7 +1079,18 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
         "perf",
         "timeline",
         "series-out",
+        "health",
+        "fail-on-alert",
     ])?;
+    // Parsed up front so a bad severity name fails before any file I/O.
+    let fail_on = match p.str_or("fail-on-alert", "") {
+        "" => None,
+        s => Some(Severity::parse(s).ok_or_else(|| {
+            ArgError::new(format!(
+                "--fail-on-alert {s}: expected info, warn or critical"
+            ))
+        })?),
+    };
     let metrics: Option<serde_json::Value> = match p.str_or("metrics", "") {
         "" => None,
         path => {
@@ -1137,6 +1208,34 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
         .filter(|e| e.name == "placement.exchange_audit")
         .collect();
 
+    // `--health` summarises the watchdog's `alert.*` events (plus the
+    // offline attribution-tiling audit over the analysed jobs);
+    // `--fail-on-alert <severity>` implies it and gates the exit code.
+    let health: Option<Vec<HealthRow>> = if p.switch("health") || fail_on.is_some() {
+        if doc.is_none() {
+            return Err(ArgError::new(
+                "--health needs a trace input (--trace or --stream)",
+            ));
+        }
+        Some(health_summary(&dump, &jobs))
+    } else {
+        None
+    };
+    if let (Some(threshold), Some(rows)) = (fail_on, &health) {
+        let tripped: Vec<&HealthRow> = rows.iter().filter(|r| r.severity >= threshold).collect();
+        if !tripped.is_empty() {
+            let total: u64 = tripped.iter().map(|r| r.count).sum();
+            let rules: Vec<String> = tripped
+                .iter()
+                .map(|r| format!("{} ({}, x{})", r.rule, r.severity, r.count))
+                .collect();
+            return Err(ArgError::new(format!(
+                "health gate: FAIL — {total} alert(s) at or above {threshold}: {}",
+                rules.join(", ")
+            )));
+        }
+    }
+
     if p.switch("json") {
         let event_obj = |e: &vc_obs::critical_path::DumpEvent| {
             let mut entries = vec![("t_us".to_string(), serde_json::Value::U64(e.t_us))];
@@ -1204,6 +1303,26 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
                     ),
                     ("series".to_string(), serde_json::Value::Object(series_objs)),
                 ]),
+            ));
+        }
+        if let Some(rows) = &health {
+            let total: u64 = rows.iter().map(|r| r.count).sum();
+            let mut health_entries = vec![
+                ("total".to_string(), serde_json::Value::U64(total)),
+                (
+                    "alerts".to_string(),
+                    serde_json::Value::Array(rows.iter().map(HealthRow::to_json).collect()),
+                ),
+            ];
+            if fail_on.is_some() {
+                health_entries.push((
+                    "gate".to_string(),
+                    serde_json::Value::Str("pass".to_string()),
+                ));
+            }
+            entries.push((
+                "health".to_string(),
+                serde_json::Value::Object(health_entries),
             ));
         }
         return Ok(serde_json::Value::Object(entries).to_string());
@@ -1313,7 +1432,197 @@ pub fn report(p: &Parsed) -> Result<String, ArgError> {
     if let Some(set) = &timeline {
         out.push_str(&render_timeline(set));
     }
+    if let Some(rows) = &health {
+        out.push_str(&render_health(rows));
+        if let Some(threshold) = fail_on {
+            out.push_str(&format!(
+                "health gate: PASS — no alerts at or above {threshold}\n"
+            ));
+        }
+    }
     Ok(out)
+}
+
+/// One rule's aggregated alert history from a `--health` report: how
+/// often it fired, when, and the worst window it pointed at.
+struct HealthRow {
+    rule: String,
+    severity: Severity,
+    subsystem: String,
+    count: u64,
+    first_us: u64,
+    last_us: u64,
+    /// `(value, window_edge_us)` of the highest-valued alert, when the
+    /// rule attaches a numeric `value` (detector rules always do).
+    worst: Option<(f64, u64)>,
+}
+
+impl HealthRow {
+    fn to_json(&self) -> serde_json::Value {
+        let mut entries = vec![
+            (
+                "rule".to_string(),
+                serde_json::Value::Str(self.rule.clone()),
+            ),
+            (
+                "severity".to_string(),
+                serde_json::Value::Str(self.severity.to_string()),
+            ),
+            (
+                "subsystem".to_string(),
+                serde_json::Value::Str(self.subsystem.clone()),
+            ),
+            ("count".to_string(), serde_json::Value::U64(self.count)),
+            (
+                "first_t_us".to_string(),
+                serde_json::Value::U64(self.first_us),
+            ),
+            (
+                "last_t_us".to_string(),
+                serde_json::Value::U64(self.last_us),
+            ),
+        ];
+        if let Some((value, edge)) = self.worst {
+            entries.push(("worst_value".to_string(), serde_json::Value::F64(value)));
+            entries.push((
+                "worst_window_edge_us".to_string(),
+                serde_json::Value::U64(edge),
+            ));
+        }
+        serde_json::Value::Object(entries)
+    }
+}
+
+/// Group the trace's `alert.*` events by rule and append the offline
+/// attribution-tiling audit: each analysed job's critical path must
+/// tile its makespan exactly (1 µs rounding tolerance), the one
+/// invariant that can only be checked after analysis.
+fn health_summary(dump: &TraceDump, jobs: &[vc_obs::JobAttribution]) -> Vec<HealthRow> {
+    let mut rows: Vec<HealthRow> = Vec::new();
+    for e in dump
+        .events
+        .iter()
+        .filter(|e| e.name.starts_with(ALERT_PREFIX))
+    {
+        let attr_str = |key: &str| {
+            e.attr(key)
+                .and_then(serde_json::Value::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        let rule = match e.attr("rule").and_then(serde_json::Value::as_str) {
+            Some(r) => r.to_string(),
+            None => e
+                .name
+                .strip_prefix(ALERT_PREFIX)
+                .unwrap_or(&e.name)
+                .to_string(),
+        };
+        let severity = e
+            .attr("severity")
+            .and_then(serde_json::Value::as_str)
+            .and_then(Severity::parse)
+            .unwrap_or(Severity::Warn);
+        let value = e.attr("value").and_then(serde_json::Value::as_f64);
+        let edge = e
+            .attr("window_edge_us")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(e.t_us);
+        match rows.iter_mut().find(|r| r.rule == rule) {
+            Some(row) => {
+                row.count += 1;
+                row.first_us = row.first_us.min(e.t_us);
+                row.last_us = row.last_us.max(e.t_us);
+                if let Some(v) = value {
+                    let better = match row.worst {
+                        Some((w, _)) => v > w,
+                        None => true,
+                    };
+                    if better {
+                        row.worst = Some((v, edge));
+                    }
+                }
+            }
+            None => rows.push(HealthRow {
+                rule,
+                severity,
+                subsystem: attr_str("subsystem"),
+                count: 1,
+                first_us: e.t_us,
+                last_us: e.t_us,
+                worst: value.map(|v| (v, edge)),
+            }),
+        }
+    }
+
+    let mut tiling: Option<HealthRow> = None;
+    for job in jobs {
+        let gap = job.makespan_us().abs_diff(job.attributed_us());
+        if gap <= 1 {
+            continue;
+        }
+        let row = tiling.get_or_insert_with(|| HealthRow {
+            rule: "attribution_tiling".to_string(),
+            severity: Severity::Critical,
+            subsystem: "obs".to_string(),
+            count: 0,
+            first_us: job.start_us,
+            last_us: job.start_us,
+            worst: None,
+        });
+        row.count += 1;
+        row.first_us = row.first_us.min(job.start_us);
+        row.last_us = row.last_us.max(job.start_us);
+        let better = match row.worst {
+            Some((w, _)) => gap as f64 > w,
+            None => true,
+        };
+        if better {
+            row.worst = Some((gap as f64, job.end_us));
+        }
+    }
+    rows.extend(tiling);
+
+    // Severest and loudest first.
+    rows.sort_by(|a, b| b.severity.cmp(&a.severity).then(b.count.cmp(&a.count)));
+    rows
+}
+
+/// The `report --health` table: one row per alert rule, worst-window
+/// pointer in the last column.
+fn render_health(rows: &[HealthRow]) -> String {
+    let mut out = String::new();
+    let total: u64 = rows.iter().map(|r| r.count).sum();
+    out.push_str(&format!(
+        "\nhealth — {} alert(s) across {} rule(s)\n",
+        total,
+        rows.len()
+    ));
+    if rows.is_empty() {
+        out.push_str("  no alerts; every audited invariant and detector stayed quiet\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:>24} {:>8} {:>10} {:>6} {:>9} {:>9}  {}\n",
+        "rule", "severity", "subsystem", "count", "first_s", "last_s", "worst"
+    ));
+    for r in rows {
+        let worst = r
+            .worst
+            .map(|(v, edge)| format!("{} @ {:.2}s", fmt_ts_val(v), edge as f64 / 1e6))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{:>24} {:>8} {:>10} {:>6} {:>9.2} {:>9.2}  {}\n",
+            r.rule,
+            r.severity,
+            r.subsystem,
+            r.count,
+            r.first_us as f64 / 1e6,
+            r.last_us as f64 / 1e6,
+            worst,
+        ));
+    }
+    out
 }
 
 /// One timeline cell: integers render bare, everything else at four

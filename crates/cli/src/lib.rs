@@ -111,6 +111,20 @@ OBSERVABILITY (simulate, simulate-job, simulate-queue):
     --series-out <FILE>    export the windowed series (.csv wide table,
                            else JSONL); needs --window-us
 
+HEALTH WATCHDOG (simulate, simulate-queue):
+    --health               audit conservation invariants during the run and
+                           run the anomaly detectors over the ts.* windows
+                           (detectors need --window-us); alerts appear as
+                           alert.* events in the trace/stream and as
+                           alert_total{severity,rule} in --prom-out
+    --health-audit-events <N>   audit invariants every N DES events, 0 =
+                           end-of-run only              [default: 64]
+    --health-uplink-util <F>    uplink-saturation threshold  [default: 0.9]
+    --health-uplink-windows <N> consecutive saturated windows [default: 2]
+    --health-frag-windows <N>   consecutive rising-frag windows [default: 3]
+    --health-queue-windows <N>  consecutive stagnant windows  [default: 2]
+                           (any --health-* flag implies --health)
+
 REPORT OPTIONS:
     --trace <FILE>         trace written by --trace-out (this or --stream is
                            required, except `report --perf --metrics <FILE>`)
@@ -126,6 +140,12 @@ REPORT OPTIONS:
     --timeline             add the windowed ts.* time-series table (from a
                            run recorded with --window-us)
     --series-out <FILE>    re-export the ts.* series from the trace input
+    --health               summarise alert.* events by rule: severity,
+                           subsystem, count, first/last sim-time, worst
+                           window; also audits critical-path tiling offline
+    --fail-on-alert <S>    exit 1 (`health gate: FAIL`) if any alert at or
+                           above severity S (info|warn|critical) fired;
+                           implies --health
     --json                 emit the full report as JSON
 
 PROFILE OPTIONS:
@@ -926,5 +946,249 @@ mod obs_cli_tests {
         std::fs::remove_file(&pp).ok();
         assert!(text.contains("window=\""), "{text}");
         assert!(text.contains("ts_cloud_fill"), "{text}");
+    }
+
+    /// A two-slot cloud trace with a 600 s hog and short jobs piling up
+    /// behind it — the queue rises window after window with nothing
+    /// served, so the `queue_stagnation` detector must fire. Saved as a
+    /// replayable request trace for `simulate-queue --trace`.
+    fn write_stagnation_trace(path: &str) {
+        use vc_cloudsim::CloudRequest;
+        use vc_des::SimTime;
+        use vc_model::Request;
+        let mut requests = vec![CloudRequest {
+            id: 0,
+            request: Request::from_counts(vec![2, 0, 0]),
+            arrival: SimTime::ZERO,
+            service_time: SimTime::from_secs(600),
+        }];
+        for i in 1..=10u64 {
+            requests.push(CloudRequest {
+                id: i,
+                request: Request::from_counts(vec![1, 0, 0]),
+                arrival: SimTime::from_secs(3 * i),
+                service_time: SimTime::from_secs(2),
+            });
+        }
+        vc_cloudsim::trace::save(&requests, path).unwrap();
+    }
+
+    fn stagnation_run(trace_path: &str, extra: &[&str]) -> Result<String, ArgError> {
+        let mut args = vec![
+            "simulate-queue",
+            "--racks",
+            "1",
+            "--nodes",
+            "2",
+            "--capacity",
+            "1",
+            "--trace",
+            trace_path,
+            "--health",
+            "--window-us",
+            "5000000",
+        ];
+        args.extend_from_slice(extra);
+        call(&args)
+    }
+
+    #[test]
+    fn report_health_summarises_alerts_and_gates_exit() {
+        let (rp, rps) = tmp("affinity_vc_health_reqs.json");
+        let (tp, tps) = tmp("affinity_vc_health_trace.json");
+        let (pp, pps) = tmp("affinity_vc_health.prom");
+        write_stagnation_trace(&rps);
+        let out = stagnation_run(&rps, &["--trace-out", &tps, "--prom-out", &pps]).unwrap();
+        assert!(out.contains("served"), "{out}");
+
+        // The watchdog's counters export as one labelled family.
+        let prom = std::fs::read_to_string(&pp).unwrap();
+        assert!(
+            prom.contains("alert_total{severity=\"warn\",rule=\"queue_stagnation\"}"),
+            "{prom}"
+        );
+
+        let table = call(&["report", "--trace", &tps, "--health"]).unwrap();
+        assert!(table.contains("health —"), "{table}");
+        assert!(table.contains("queue_stagnation"), "{table}");
+        assert!(table.contains("warn"), "{table}");
+
+        let json: Value = serde_json::from_str(
+            &call(&["report", "--trace", &tps, "--health", "--json"]).unwrap(),
+        )
+        .unwrap();
+        assert!(json["health"]["total"].as_u64().unwrap() >= 1, "{json:?}");
+        let alerts = json["health"]["alerts"].as_array().unwrap();
+        let stag = alerts
+            .iter()
+            .find(|a| a["rule"].as_str() == Some("queue_stagnation"))
+            .expect("queue_stagnation row");
+        assert_eq!(stag["severity"].as_str(), Some("warn"));
+        assert_eq!(stag["subsystem"].as_str(), Some("cloudsim"));
+        assert!(stag["count"].as_u64().unwrap() >= 1);
+        assert!(stag["last_t_us"].as_u64() >= stag["first_t_us"].as_u64());
+        assert!(stag["worst_window_edge_us"].as_u64().unwrap() > 0);
+
+        // Gate trips at warn (a warn alert fired), passes at critical.
+        let err = call(&["report", "--trace", &tps, "--fail-on-alert", "warn"]).unwrap_err();
+        assert!(err.to_string().contains("health gate: FAIL"), "{err}");
+        assert!(err.to_string().contains("queue_stagnation"), "{err}");
+        let pass = call(&["report", "--trace", &tps, "--fail-on-alert", "critical"]).unwrap();
+        assert!(pass.contains("health gate: PASS"), "{pass}");
+
+        std::fs::remove_file(&rp).ok();
+        std::fs::remove_file(&tp).ok();
+        std::fs::remove_file(&pp).ok();
+    }
+
+    #[test]
+    fn alerts_replay_through_the_stream() {
+        let (rp, rps) = tmp("affinity_vc_health_stream_reqs.json");
+        let (sp, sps) = tmp("affinity_vc_health_stream.jsonl");
+        write_stagnation_trace(&rps);
+        stagnation_run(&rps, &["--stream-out", &sps]).unwrap();
+        let json: Value = serde_json::from_str(
+            &call(&["report", "--stream", &sps, "--health", "--json"]).unwrap(),
+        )
+        .unwrap();
+        let alerts = json["health"]["alerts"].as_array().unwrap();
+        assert!(
+            alerts
+                .iter()
+                .any(|a| a["rule"].as_str() == Some("queue_stagnation")),
+            "{json:?}"
+        );
+        std::fs::remove_file(&rp).ok();
+        std::fs::remove_file(&sp).ok();
+    }
+
+    #[test]
+    fn healthy_run_reports_clean_and_passes_gate() {
+        let (sp, sps) = tmp("affinity_vc_healthy.jsonl");
+        call(&[
+            "simulate",
+            "--requests",
+            "3",
+            "--maps",
+            "2",
+            "--health",
+            "--window-us",
+            "5000000",
+            "--stream-out",
+            &sps,
+        ])
+        .unwrap();
+        let json: Value = serde_json::from_str(
+            &call(&["report", "--stream", &sps, "--health", "--json"]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(json["health"]["total"].as_u64(), Some(0), "{json:?}");
+        assert_eq!(json["health"]["alerts"].as_array().map(Vec::len), Some(0));
+        // `--fail-on-alert` at the strictest level still passes.
+        let out = call(&["report", "--stream", &sps, "--fail-on-alert", "info"]).unwrap();
+        assert!(out.contains("health gate: PASS"), "{out}");
+        std::fs::remove_file(&sp).ok();
+    }
+
+    #[test]
+    fn health_gate_rejects_unknown_severity_and_needs_trace() {
+        let err = call(&["report", "--fail-on-alert", "fatal"]).unwrap_err();
+        assert!(err.to_string().contains("info, warn or critical"), "{err}");
+        let err = call(&["report", "--health"]).unwrap_err();
+        assert!(err.to_string().contains("--trace"), "{err}");
+    }
+
+    #[test]
+    fn report_series_out_round_trips_deltas_across_formats() {
+        let (tp, tps) = tmp("affinity_vc_delta_trace.json");
+        let (cp, cps) = tmp("affinity_vc_delta.csv");
+        let (jp, jps) = tmp("affinity_vc_delta.jsonl");
+        let sim: Value = serde_json::from_str(
+            &call(&[
+                "simulate",
+                "--requests",
+                "5",
+                "--maps",
+                "4",
+                "--json",
+                "--window-us",
+                "5000000",
+                "--trace-out",
+                &tps,
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        call(&[
+            "report",
+            "--trace",
+            &tps,
+            "--timeline",
+            "--series-out",
+            &cps,
+        ])
+        .unwrap();
+        call(&[
+            "report",
+            "--trace",
+            &tps,
+            "--timeline",
+            "--series-out",
+            &jps,
+        ])
+        .unwrap();
+        let csv = std::fs::read_to_string(&cp).unwrap();
+        let jsonl = std::fs::read_to_string(&jp).unwrap();
+        std::fs::remove_file(&tp).ok();
+        std::fs::remove_file(&cp).ok();
+        std::fs::remove_file(&jp).ok();
+
+        type Series = std::collections::BTreeMap<String, Vec<(u64, f64)>>;
+        let mut from_csv = Series::new();
+        let mut lines = csv.lines();
+        let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+        for name in ["ts.served.delta", "ts.refused.delta"] {
+            assert!(header.contains(&name), "{csv}");
+        }
+        for line in lines {
+            let cells: Vec<&str> = line.split(',').collect();
+            let t: u64 = cells[0].parse().unwrap();
+            for (i, cell) in cells.iter().enumerate().skip(1) {
+                if !cell.is_empty() {
+                    from_csv
+                        .entry(header[i].to_string())
+                        .or_default()
+                        .push((t, cell.parse().unwrap()));
+                }
+            }
+        }
+        let mut from_jsonl = Series::new();
+        for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+            let v: Value = serde_json::from_str(line).unwrap();
+            let t = v["t_us"].as_u64().unwrap();
+            let Value::Object(entries) = &v else {
+                panic!("JSONL row is not an object: {line}");
+            };
+            for (k, val) in entries {
+                if k != "t_us" {
+                    from_jsonl
+                        .entry(k.clone())
+                        .or_default()
+                        .push((t, val.as_f64().unwrap()));
+                }
+            }
+        }
+        // Identical series (names, edges, values) in both formats.
+        assert_eq!(from_csv, from_jsonl);
+        // The deltas account for every outcome of the run exactly.
+        let sum = |name: &str| -> f64 { from_csv[name].iter().map(|&(_, v)| v).sum() };
+        assert_eq!(
+            sum("ts.served.delta") as u64,
+            sim["served"].as_u64().unwrap()
+        );
+        assert_eq!(
+            sum("ts.refused.delta") as u64,
+            sim["refused"].as_u64().unwrap()
+        );
     }
 }

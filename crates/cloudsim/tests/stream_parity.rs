@@ -35,13 +35,16 @@ fn trace(count: usize, seed: u64) -> Vec<CloudRequest> {
     p.generate(count, 3, &mut StdRng::seed_from_u64(seed))
 }
 
-fn cfg(count: usize, seed: u64, window_us: u64, mapreduce: bool) -> SimConfig {
+fn cfg(count: usize, seed: u64, window_us: u64, mapreduce: bool, health: bool) -> SimConfig {
     let mut c = SimConfig::new(
         trace(count, seed),
         PolicyMode::Individual(Box::new(OnlineHeuristic)),
         seed,
     )
     .with_timeseries(window_us);
+    if health {
+        c = c.with_health(vc_obs::HealthPolicy::default());
+    }
     if mapreduce {
         c = c.with_service(vc_cloudsim::sim::ServiceModel::MapReduce {
             job: JobConfig {
@@ -78,15 +81,16 @@ proptest! {
         seed in any::<u64>(),
         window_s in 2u64..9,
         mapreduce in any::<bool>(),
+        health in any::<bool>(),
     ) {
         let window_us = window_s * 1_000_000;
         let s = state();
 
         let mem = MemRecorder::new();
-        let mem_result = run_recorded(&s, cfg(count, seed, window_us, mapreduce), &mem);
+        let mem_result = run_recorded(&s, cfg(count, seed, window_us, mapreduce, health), &mem);
 
         let stream = StreamingRecorder::new(Vec::new());
-        let stream_result = run_recorded(&s, cfg(count, seed, window_us, mapreduce), &stream);
+        let stream_result = run_recorded(&s, cfg(count, seed, window_us, mapreduce, health), &stream);
         let bytes = stream.finish().expect("Vec sink cannot fail");
         let merged = replay_jsonl(&String::from_utf8(bytes).expect("UTF-8 stream"))
             .expect("own stream replays");
@@ -117,5 +121,56 @@ proptest! {
         );
         prop_assert_eq!(mem.spans().len(), merged.spans.len());
         prop_assert_eq!(mem.events().len(), merged.events.len());
+    }
+
+    /// Health auditing is provably read-only: with the watchdog enabled,
+    /// a random run produces identical outcomes, and the only metric
+    /// names allowed to differ from a health-off run are the watchdog's
+    /// own (`alert.*` counters and the `ts.health.*` window series).
+    #[test]
+    fn health_auditing_perturbs_nothing_but_alert_metrics(
+        count in 3usize..12,
+        seed in any::<u64>(),
+        window_s in 2u64..9,
+        mapreduce in any::<bool>(),
+    ) {
+        let window_us = window_s * 1_000_000;
+        let s = state();
+
+        let plain = MemRecorder::new();
+        let plain_result = run_recorded(&s, cfg(count, seed, window_us, mapreduce, false), &plain);
+
+        let audited = MemRecorder::new();
+        let audited_result =
+            run_recorded(&s, cfg(count, seed, window_us, mapreduce, true), &audited);
+
+        // The simulation itself is untouched...
+        prop_assert_eq!(&plain_result.outcomes, &audited_result.outcomes);
+        // ...and so is the unaudited run without any recorder at all.
+        let bare = vc_cloudsim::sim::run(&s, cfg(count, seed, window_us, mapreduce, true));
+        prop_assert_eq!(&plain_result.outcomes, &bare.outcomes);
+
+        // Metrics: strip the watchdog's own names, nothing else differs.
+        let strip_health = |mut snap: MetricsSnapshot| {
+            snap.counters.retain(|k, _| !k.starts_with("alert."));
+            snap.gauges.retain(|k, _| !k.starts_with("ts.health."));
+            snap
+        };
+        prop_assert_eq!(
+            strip_host_metrics(strip_health(audited.metrics())),
+            strip_host_metrics(plain.metrics())
+        );
+        let mut audited_series = audited.counter_series();
+        audited_series.retain(|k, _| !k.starts_with("ts.health."));
+        prop_assert_eq!(audited_series, plain.counter_series());
+        // Every extra event is an alert; a healthy seeded run fires none,
+        // so the event streams are identical too.
+        let plain_events = plain.events().len();
+        let alert_events = audited
+            .events()
+            .iter()
+            .filter(|e| e.name.starts_with("alert."))
+            .count();
+        prop_assert_eq!(audited.events().len(), plain_events + alert_events);
     }
 }

@@ -29,7 +29,8 @@ use std::collections::VecDeque;
 use std::sync::{Mutex, OnceLock};
 use vc_des::{Engine, EventKind, SimTime};
 use vc_netsim::{Bottleneck, FlowClass, FlowNet, LinkClass, NetworkParams};
-use vc_obs::{AttrValue, NoopRecorder, Recorder, SpanId, TrackId};
+use vc_obs::health::{rules, AlertSink, Severity};
+use vc_obs::{AttrValue, HealthPolicy, NoopRecorder, Recorder, SpanId, TrackId};
 use vc_topology::NodeId;
 
 /// Intern a dynamically built metric name (per-link names depend on the
@@ -218,6 +219,11 @@ struct Sim<'a, R: Recorder> {
     /// fetch (`rack-up`, `node-rx`, `rate-cap`, …) — the link-class
     /// decomposition of shuffle network time.
     shuffle_bottleneck_bytes: BTreeMap<&'static str, u64>,
+    /// Run the health watchdog's job-end invariant audits (shuffle
+    /// conservation, flow starvation). Read-only: never perturbs the sim.
+    audit: bool,
+    /// `alert.*` events fired by the audits, reported to the caller.
+    alerts_fired: u64,
 }
 
 /// Run one job on one virtual cluster and return its metrics.
@@ -241,7 +247,7 @@ struct Sim<'a, R: Recorder> {
 /// # Panics
 /// Panics on invalid configuration (zero reducers, empty cluster, …).
 pub fn simulate_job(cluster: &VirtualCluster, job: &JobConfig, params: &SimParams) -> JobMetrics {
-    simulate_job_with(cluster, job, params, &NoopRecorder, 0, 0, None).0
+    simulate_job_with(cluster, job, params, &NoopRecorder, 0, 0, None, None).0
 }
 
 /// [`simulate_job`] with observability: spans, events and metrics land on
@@ -260,7 +266,7 @@ pub fn simulate_job_traced(
     track_base: u64,
     t0_us: u64,
 ) -> JobMetrics {
-    simulate_job_with(cluster, job, params, &rec, track_base, t0_us, None).0
+    simulate_job_with(cluster, job, params, &rec, track_base, t0_us, None, None).0
 }
 
 /// [`simulate_job_traced`] plus a windowed cross-rack traffic rollup:
@@ -281,9 +287,39 @@ pub fn simulate_job_traced_windowed(
     t0_us: u64,
     window_us: Option<u64>,
 ) -> (JobMetrics, Vec<(u64, f64)>) {
-    simulate_job_with(cluster, job, params, &rec, track_base, t0_us, window_us)
+    let (metrics, rollup, _) = simulate_job_with(
+        cluster, job, params, &rec, track_base, t0_us, window_us, None,
+    );
+    (metrics, rollup)
 }
 
+/// [`simulate_job_traced_windowed`] plus the health watchdog's per-job
+/// invariant audits: at job end, the per-link shuffle-byte integrals are
+/// checked against the engine's own shuffle accounting (exact integer
+/// equality — the PR-5 spot check made continuous) and the flow network
+/// must hold no starved flows. Violations emit `alert.*` events instead
+/// of panicking; the third return is the number of alerts fired. Audits
+/// are read-only, so metrics are bit-identical with auditing on or off.
+///
+/// # Panics
+/// Panics on invalid configuration (zero reducers, empty cluster, …).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_job_audited(
+    cluster: &VirtualCluster,
+    job: &JobConfig,
+    params: &SimParams,
+    rec: &dyn Recorder,
+    track_base: u64,
+    t0_us: u64,
+    window_us: Option<u64>,
+    health: Option<&HealthPolicy>,
+) -> (JobMetrics, Vec<(u64, f64)>, u64) {
+    simulate_job_with(
+        cluster, job, params, &rec, track_base, t0_us, window_us, health,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn simulate_job_with<R: Recorder>(
     cluster: &VirtualCluster,
     job: &JobConfig,
@@ -292,7 +328,8 @@ fn simulate_job_with<R: Recorder>(
     track_base: u64,
     t0_us: u64,
     window_us: Option<u64>,
-) -> (JobMetrics, Vec<(u64, f64)>) {
+    health: Option<&HealthPolicy>,
+) -> (JobMetrics, Vec<(u64, f64)>, u64) {
     job.validate();
     let mut rng = StdRng::seed_from_u64(params.seed);
     let num_maps = job.num_maps();
@@ -390,10 +427,12 @@ fn simulate_job_with<R: Recorder>(
         shuffle_finished_at: SimTime::ZERO,
         outstanding_fetch_flows: 0,
         shuffle_bottleneck_bytes: BTreeMap::new(),
+        audit: health.is_some_and(|h| h.invariants) && rec.enabled(),
+        alerts_fired: 0,
     };
     let metrics = sim.run();
     let rollup = sim.net.take_window_rollup();
-    (metrics, rollup)
+    (metrics, rollup, sim.alerts_fired)
 }
 
 const MB: f64 = 1_000_000.0;
@@ -476,12 +515,16 @@ impl<R: Recorder> Sim<'_, R> {
         // (every call is a no-op there anyway).
         let mut peak_rack_uplink_utilization = 0.0f64;
         let mut rack_uplink_bytes = 0u64;
+        let mut node_rx_shuffle_bytes = 0u64;
         for (info, stats) in self.net.links().iter().zip(self.net.link_stats()) {
             if info.class == LinkClass::RackUp {
                 if stats.peak_utilization > peak_rack_uplink_utilization {
                     peak_rack_uplink_utilization = stats.peak_utilization;
                 }
                 rack_uplink_bytes += stats.completed_bytes();
+            }
+            if info.class == LinkClass::NodeRx {
+                node_rx_shuffle_bytes += stats.shuffle_bytes;
             }
             if stats.completed_bytes() == 0 && stats.bytes_total == 0.0 {
                 continue; // idle link: keep the snapshot small
@@ -517,6 +560,43 @@ impl<R: Recorder> Sim<'_, R> {
                 intern_metric_name(format!("net.shuffle.bottleneck_bytes.{label}")),
                 *bytes,
             );
+        }
+
+        // Health watchdog: job-end invariant audits. Both checks are
+        // exact — the link integrals and shuffle accounting share every
+        // byte — so any alert here is a simulator bug, not noise.
+        if self.audit {
+            let mut sink = AlertSink::new();
+            let end_us = self.t(runtime);
+            let track = Some(TrackId(self.track_base));
+            let engine_shuffle = self.rack_shuffle_bytes + self.remote_shuffle_bytes;
+            if node_rx_shuffle_bytes != engine_shuffle {
+                sink.emit(
+                    self.rec,
+                    end_us,
+                    track,
+                    Severity::Critical,
+                    "netsim",
+                    rules::SHUFFLE_CONSERVATION,
+                    &[
+                        ("link_bytes", AttrValue::U64(node_rx_shuffle_bytes)),
+                        ("engine_bytes", AttrValue::U64(engine_shuffle)),
+                    ],
+                );
+            }
+            let starved = self.net.starved_flows();
+            if !starved.is_empty() {
+                sink.emit(
+                    self.rec,
+                    end_us,
+                    track,
+                    Severity::Critical,
+                    "netsim",
+                    rules::FLOW_STARVATION,
+                    &[("flows", AttrValue::U64(starved.len() as u64))],
+                );
+            }
+            self.alerts_fired = sink.fired();
         }
 
         // Fair-share solver effort (always accumulated inside FlowNet;

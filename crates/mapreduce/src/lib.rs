@@ -30,7 +30,9 @@ pub mod scheduler;
 pub mod workloads;
 
 pub use cluster::{VirtualCluster, Vm, VmId};
-pub use engine::{simulate_job, simulate_job_traced, simulate_job_traced_windowed};
+pub use engine::{
+    simulate_job, simulate_job_audited, simulate_job_traced, simulate_job_traced_windowed,
+};
 pub use hdfs::{Block, BlockId, HdfsLayout};
 pub use job::JobConfig;
 pub use metrics::{JobMetrics, Locality};

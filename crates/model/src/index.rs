@@ -196,6 +196,36 @@ impl PlacementIndex {
         self.rack_candidates[rack].sort_by_key(|&i| (std::cmp::Reverse(free[i.index()]), i));
     }
 
+    /// Non-panicking consistency audit for the health watchdog: recompute
+    /// the free-capacity aggregates straight from the remaining matrix
+    /// (O(nodes × types), no index rebuild, no distance recomputation)
+    /// and describe every aggregate that drifted. Empty means consistent.
+    pub fn check_consistent(&self, remaining: &ResourceMatrix) -> Vec<String> {
+        let m = self.num_types;
+        let mut node_free = vec![0u32; self.node_free.len()];
+        let mut rack_free = vec![0u32; self.rack_free.len()];
+        let mut avail = vec![0u32; m];
+        for (node, ty, count) in remaining.entries() {
+            let i = node.index();
+            node_free[i] += count;
+            rack_free[self.node_rack[i] * m + ty.index()] += count;
+            avail[ty.index()] += count;
+        }
+        let mut violations = Vec::new();
+        let mut diff = |label: &str, got: &[u32], want: &[u32]| {
+            if let Some(i) = (0..got.len()).find(|&i| got[i] != want[i]) {
+                violations.push(format!(
+                    "{label}[{i}] drifted: index has {}, matrix says {}",
+                    got[i], want[i]
+                ));
+            }
+        };
+        diff("node_free", &self.node_free, &node_free);
+        diff("rack_free", &self.rack_free, &rack_free);
+        diff("avail", &self.avail, &avail);
+        violations
+    }
+
     /// Panic unless every aggregate matches a from-scratch recomputation.
     /// Test support for the incremental-maintenance invariants.
     pub fn assert_consistent(&self, topology: &Topology, remaining: &ResourceMatrix) {
@@ -303,6 +333,23 @@ mod tests {
         idx.record_delta(&delta, false);
         l.checked_add_assign(&delta);
         idx.assert_consistent(&t, &l);
+    }
+
+    #[test]
+    fn check_consistent_reports_drift_without_panicking() {
+        let t = topo();
+        let l = remaining();
+        let mut idx = PlacementIndex::build(&t, &l);
+        assert!(idx.check_consistent(&l).is_empty());
+        // Corrupt one aggregate per family; every drift is reported.
+        idx.node_free[2] += 1;
+        idx.rack_free[0] += 1;
+        idx.avail[1] = 0;
+        let violations = idx.check_consistent(&l);
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations[0].contains("node_free[2]"), "{violations:?}");
+        assert!(violations[1].contains("rack_free[0]"), "{violations:?}");
+        assert!(violations[2].contains("avail[1]"), "{violations:?}");
     }
 
     #[test]

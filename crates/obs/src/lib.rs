@@ -27,6 +27,7 @@
 //! counter tracks in the timeline.
 
 pub mod critical_path;
+pub mod health;
 pub mod metrics;
 pub mod prof;
 pub mod prom;
@@ -37,6 +38,9 @@ pub mod timeseries;
 pub mod trace;
 
 pub use critical_path::{analyze, Category, JobAttribution, Segment, TraceDump, CATEGORIES};
+pub use health::{
+    AlertSink, HealthMonitor, HealthPolicy, Severity, WindowHealthSample, ALERT_PREFIX,
+};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use prof::{Phase, PhaseTimer};
 pub use prom::{to_prometheus, to_prometheus_windowed};

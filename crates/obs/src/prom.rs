@@ -58,7 +58,25 @@ pub fn to_prometheus_windowed(
     series: &crate::timeseries::TimeSeriesSet,
 ) -> String {
     let mut out = String::new();
+    // The watchdog's `alert.total.<severity>.<rule>` counters export as
+    // one labelled `alert_total` family so dashboards can aggregate and
+    // slice by either dimension; everything else exports verbatim.
+    let mut alert_total_typed = false;
     for (name, v) in &snap.counters {
+        if let Some(rest) = name.strip_prefix(crate::health::ALERT_TOTAL_PREFIX) {
+            if let Some((severity, rule)) = rest.split_once('.') {
+                if !alert_total_typed {
+                    out.push_str("# TYPE alert_total counter\n");
+                    alert_total_typed = true;
+                }
+                out.push_str(&format!(
+                    "alert_total{{severity=\"{}\",rule=\"{}\"}} {v}\n",
+                    sanitize_name(severity),
+                    sanitize_name(rule)
+                ));
+                continue;
+            }
+        }
         let n = sanitize_name(name);
         out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
     }
@@ -150,6 +168,31 @@ mod tests {
         assert!(text.contains("mr_job_runtime_us_sum 10\n"));
         assert!(text.contains("mr_job_runtime_us_count 3\n"));
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn alert_total_counters_export_as_labelled_family() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("alert.total.critical.capacity_accounting", 1);
+        reg.counter_add("alert.total.warn.uplink_saturation", 3);
+        reg.counter_add("des.events_processed", 7);
+        let text = to_prometheus(&reg.snapshot());
+        assert_eq!(
+            text.matches("# TYPE alert_total counter\n").count(),
+            1,
+            "{text}"
+        );
+        assert!(
+            text.contains("alert_total{severity=\"critical\",rule=\"capacity_accounting\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("alert_total{severity=\"warn\",rule=\"uplink_saturation\"} 3\n"),
+            "{text}"
+        );
+        // The dotted spellings must not also export as plain families.
+        assert!(!text.contains("alert_total_"), "{text}");
+        assert!(text.contains("des_events_processed 7\n"), "{text}");
     }
 
     #[test]
