@@ -34,6 +34,7 @@ const SWITCHES: &[&str] = &[
     "perf",
     "timeline",
     "health",
+    "fail-on-regress",
 ];
 
 /// Parsed `--key value` pairs and switches.
@@ -48,11 +49,24 @@ impl Parsed {
     /// boolean switches consume no value, everything else consumes
     /// exactly one.
     pub fn parse(args: &[String]) -> Result<Self, ArgError> {
+        let (parsed, positionals) = Self::parse_with_positionals(args)?;
+        if let Some(first) = positionals.first() {
+            return Err(ArgError::new(format!("unexpected argument `{first}`")));
+        }
+        Ok(parsed)
+    }
+
+    /// Like [`Parsed::parse`], but collect bare (non-`--`) arguments as
+    /// positionals instead of rejecting them. Options still consume their
+    /// value, so `--seed 3 file.json` yields one positional.
+    pub fn parse_with_positionals(args: &[String]) -> Result<(Self, Vec<String>), ArgError> {
         let mut out = Parsed::default();
+        let mut positionals = Vec::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(ArgError::new(format!("unexpected argument `{arg}`")));
+                positionals.push(arg.clone());
+                continue;
             };
             if SWITCHES.contains(&key) {
                 out.switches.push(key.to_string());
@@ -63,7 +77,7 @@ impl Parsed {
                 out.values.insert(key.to_string(), value.clone());
             }
         }
-        Ok(out)
+        Ok((out, positionals))
     }
 
     /// Whether a boolean switch was given.
@@ -166,6 +180,18 @@ mod tests {
         assert!(p.required("b").is_err());
         assert!(p.ensure_known(&["a"]).is_ok());
         assert!(p.ensure_known(&["b"]).is_err());
+    }
+
+    #[test]
+    fn positionals_collected_when_allowed() {
+        let v: Vec<String> = ["a.json", "--seed", "3", "b.json", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (p, pos) = Parsed::parse_with_positionals(&v).unwrap();
+        assert_eq!(pos, vec!["a.json".to_string(), "b.json".to_string()]);
+        assert_eq!(p.num_or("seed", 0u64).unwrap(), 3);
+        assert!(p.switch("json"));
     }
 
     #[test]

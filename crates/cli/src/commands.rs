@@ -15,8 +15,9 @@ use vc_model::workload::RequestProfile;
 use vc_model::{ClusterState, Request, VmCatalog};
 use vc_netsim::NetworkParams;
 use vc_obs::{
-    HealthPolicy, MemRecorder, MergedTrace, MetricsSnapshot, Recorder, Severity, ShardedRecorder,
-    StreamingRecorder, TimeSeriesSet, TraceDump, ALERT_PREFIX, TS_PREFIX,
+    DiffOptions, DiffReport, Fnv64, HealthPolicy, MemRecorder, MergedTrace, MetricsSnapshot,
+    Recorder, RunManifest, Severity, ShardedRecorder, StreamingRecorder, TimeSeriesSet, TraceDump,
+    ALERT_PREFIX, MANIFEST_KEY, TS_PREFIX,
 };
 use vc_placement::distance::distance_with_center;
 use vc_placement::global::Admission;
@@ -141,6 +142,57 @@ fn ts_window(p: &Parsed) -> Result<Option<u64>, ArgError> {
     Ok((w > 0).then_some(w))
 }
 
+/// FNV digest of a topology's identity — node/rack shape plus distance
+/// tiers. Two runs with equal digests placed onto byte-identical clouds,
+/// which is what makes their per-link and per-rack telemetry alignable.
+fn topology_digest(topo: &vc_topology::Topology) -> String {
+    let mut h = Fnv64::new();
+    h.write_u64(topo.num_nodes() as u64)
+        .write_u64(topo.num_racks() as u64);
+    for node in topo.node_ids() {
+        h.write_u64(u64::from(topo.rack_of(node).0));
+    }
+    let tiers = topo.tiers();
+    h.write_u64(u64::from(tiers.same_rack))
+        .write_u64(u64::from(tiers.cross_rack))
+        .write_u64(u64::from(tiers.cross_cloud));
+    h.finish()
+}
+
+/// FNV digest of a request trace: ids, timings and VM counts. Equal
+/// digests mean the two runs served the exact same arrival sequence,
+/// so count deltas are attributable to the policy, not the workload.
+fn trace_digest(trace: &[vc_cloudsim::CloudRequest]) -> String {
+    let mut h = Fnv64::new();
+    h.write_u64(trace.len() as u64);
+    for r in trace {
+        h.write_u64(r.id)
+            .write_u64(r.arrival.as_micros())
+            .write_u64(r.service_time.as_micros());
+        for &c in r.request.counts() {
+            h.write_u64(u64::from(c));
+        }
+    }
+    h.finish()
+}
+
+/// Cloud-shape knobs every cloud-building command contributes to its
+/// manifest.
+fn cloud_config_entries(p: &Parsed) -> Result<Vec<(String, String)>, ArgError> {
+    Ok(vec![
+        ("racks".to_string(), p.num_or("racks", 3usize)?.to_string()),
+        ("nodes".to_string(), p.num_or("nodes", 10usize)?.to_string()),
+        (
+            "capacity".to_string(),
+            p.num_or("capacity", 2u32)?.to_string(),
+        ),
+        (
+            "placement-threads".to_string(),
+            p.num_or("placement-threads", 1usize)?.to_string(),
+        ),
+    ])
+}
+
 /// The recorder a command records into: the single-threaded
 /// [`MemRecorder`] normally, the thread-safe [`ShardedRecorder`] when
 /// `--placement-threads` enables a parallel seed scan — scan workers then
@@ -171,12 +223,19 @@ impl CliRecorder {
 
     /// Select the recorder for a run: `--stream-out` wins (it is
     /// thread-safe, so it also serves parallel seed scans), otherwise
-    /// thread count decides.
-    fn build(p: &Parsed, threads: usize) -> Result<Self, ArgError> {
+    /// thread count decides. A stream opens with the run manifest as a
+    /// JSONL header line, so a flushed file identifies its run even
+    /// when no other artefact was exported (`replay_jsonl` skips the
+    /// header; `manifest_from_jsonl` extracts it).
+    fn build(p: &Parsed, threads: usize, manifest: &RunManifest) -> Result<Self, ArgError> {
         match p.str_or("stream-out", "") {
             "" => Ok(Self::for_threads(threads)),
             path => {
-                let file = File::create(path)
+                let mut file = File::create(path)
+                    .map_err(|e| ArgError::new(format!("--stream-out {path}: {e}")))?;
+                let header =
+                    serde_json::Value::Object(vec![(MANIFEST_KEY.to_string(), manifest.to_json())]);
+                writeln!(file, "{header}")
                     .map_err(|e| ArgError::new(format!("--stream-out {path}: {e}")))?;
                 Ok(Self::Stream {
                     rec: Some(StreamingRecorder::new(BufWriter::new(file))),
@@ -272,12 +331,18 @@ impl CliRecorder {
 }
 
 /// Write the requested observability artefacts: a Chrome/Perfetto trace
-/// for `--trace-out`, a metrics snapshot for `--metrics-out` (CSV when
-/// the path ends in `.csv`, pretty JSON otherwise), a Prometheus text
-/// exposition for `--prom-out` (window-labelled `ts.*` samples when
-/// `--window-us` is set), and the windowed time-series for
-/// `--series-out` (CSV when the path ends in `.csv`, else JSONL).
-fn write_observability(p: &Parsed, rec: &mut CliRecorder) -> Result<(), ArgError> {
+/// for `--trace-out`, the run document for `--metrics-out` (CSV snapshot
+/// when the path ends in `.csv`, pretty JSON otherwise), a Prometheus
+/// text exposition plus the `vc_run_info` info-metric for `--prom-out`
+/// (window-labelled `ts.*` samples when `--window-us` is set), and the
+/// windowed time-series for `--series-out` (CSV when the path ends in
+/// `.csv`, else JSONL).
+fn write_observability(
+    p: &Parsed,
+    rec: &mut CliRecorder,
+    manifest: &RunManifest,
+    doc: Option<&serde_json::Value>,
+) -> Result<(), ArgError> {
     match p.str_or("trace-out", "") {
         "" => {}
         path => {
@@ -289,11 +354,14 @@ fn write_observability(p: &Parsed, rec: &mut CliRecorder) -> Result<(), ArgError
     match p.str_or("metrics-out", "") {
         "" => {}
         path => {
-            let snap = rec.metrics()?;
             let text = if path.ends_with(".csv") {
-                snap.to_csv()
+                rec.metrics()?.to_csv()
             } else {
-                snap.to_json_string()
+                match doc {
+                    Some(doc) => serde_json::to_string_pretty(doc)
+                        .map_err(|e| ArgError::new(e.to_string()))?,
+                    None => rec.metrics()?.to_json_string(),
+                }
             };
             std::fs::write(path, text)
                 .map_err(|e| ArgError::new(format!("--metrics-out {path}: {e}")))?;
@@ -308,7 +376,8 @@ fn write_observability(p: &Parsed, rec: &mut CliRecorder) -> Result<(), ArgError
             } else {
                 TimeSeriesSet::default()
             };
-            let text = vc_obs::to_prometheus_windowed(&rec.metrics()?, window_us, &series);
+            let mut text = vc_obs::to_prometheus_windowed(&rec.metrics()?, window_us, &series);
+            text.push_str(&manifest.to_prom_info());
             std::fs::write(path, text)
                 .map_err(|e| ArgError::new(format!("--prom-out {path}: {e}")))?;
         }
@@ -332,6 +401,104 @@ fn write_observability(p: &Parsed, rec: &mut CliRecorder) -> Result<(), ArgError
         rec.stream_merged()?;
     }
     Ok(())
+}
+
+/// The run document: the metrics snapshot extended with the manifest,
+/// per-job critical-path attribution, and (when `--window-us` sampled)
+/// the windowed `ts.*` series. This is the unit `vc diff` aligns.
+fn run_document(
+    rec: &mut CliRecorder,
+    manifest: &RunManifest,
+) -> Result<serde_json::Value, ArgError> {
+    let serde_json::Value::Object(mut entries) = rec.metrics()?.to_json() else {
+        return Err(ArgError::new("internal: metrics snapshot is not an object"));
+    };
+    entries.push((MANIFEST_KEY.to_string(), manifest.to_json()));
+    let trace = rec.trace_doc()?;
+    let dump = TraceDump::from_chrome_value(&trace)
+        .map_err(|e| ArgError::new(format!("internal trace: {e}")))?;
+    let jobs = vc_obs::analyze(&dump);
+    entries.push((
+        "attribution".to_string(),
+        serde_json::Value::Object(vec![(
+            "jobs".to_string(),
+            serde_json::Value::Array(jobs.iter().map(vc_obs::JobAttribution::to_json).collect()),
+        )]),
+    ));
+    if manifest.window_us > 0 {
+        let set = rec.timeseries()?;
+        let series: Vec<(String, serde_json::Value)> = set
+            .series
+            .iter()
+            .map(|(name, points)| {
+                let rows: Vec<serde_json::Value> = points
+                    .iter()
+                    .map(|&(t, v)| {
+                        serde_json::Value::Array(vec![
+                            serde_json::Value::U64(t),
+                            serde_json::Value::F64(v),
+                        ])
+                    })
+                    .collect();
+                (name.clone(), serde_json::Value::Array(rows))
+            })
+            .collect();
+        entries.push((
+            "timeseries".to_string(),
+            serde_json::Value::Object(vec![
+                (
+                    "window_us".to_string(),
+                    serde_json::Value::U64(manifest.window_us),
+                ),
+                ("series".to_string(), serde_json::Value::Object(series)),
+            ]),
+        ));
+    }
+    Ok(serde_json::Value::Object(entries))
+}
+
+/// Everything a recorded run leaves behind for its command to render.
+struct RecordedRun<T> {
+    result: T,
+    metrics: MetricsSnapshot,
+    spans: usize,
+    events: usize,
+    /// The run document — built when `capture` asked for it or an
+    /// artefact needed it, `None` otherwise.
+    doc: Option<serde_json::Value>,
+}
+
+/// Shared recorded-run harness for `simulate`, `simulate-queue` and
+/// `simulate-job`: selects the recorder (mem / sharded / streaming),
+/// runs `body` against it, builds the run document when needed, and
+/// writes every `--*-out` artefact — so manifest capture is wired
+/// exactly once.
+fn run_recorded_command<T>(
+    p: &Parsed,
+    threads: usize,
+    manifest: &RunManifest,
+    capture: bool,
+    body: impl FnOnce(&dyn Recorder) -> T,
+) -> Result<RecordedRun<T>, ArgError> {
+    let mut rec = CliRecorder::build(p, threads, manifest)?;
+    let result = body(rec.as_recorder());
+    let metrics_path = p.str_or("metrics-out", "");
+    let want_doc = capture || (!metrics_path.is_empty() && !metrics_path.ends_with(".csv"));
+    let doc = if want_doc {
+        Some(run_document(&mut rec, manifest)?)
+    } else {
+        None
+    };
+    write_observability(p, &mut rec, manifest, doc.as_ref())?;
+    let metrics = rec.metrics()?;
+    let (spans, events) = rec.span_event_counts()?;
+    Ok(RecordedRun {
+        result,
+        metrics,
+        spans,
+        events,
+        doc,
+    })
 }
 
 /// `affinity-vc place`
@@ -428,6 +595,7 @@ pub fn simulate_job(p: &Parsed) -> Result<String, ArgError> {
     }
 
     let topo = Arc::new(generate::paper_simulation());
+    let topo_digest = topology_digest(&topo);
     let mut nodes = vec![NodeId(0); spread[0] as usize];
     nodes.extend((0..spread[1]).map(|i| NodeId(1 + (i % 9))));
     nodes.extend((0..spread[2]).map(|i| NodeId(10 + (i % 20))));
@@ -451,10 +619,46 @@ pub fn simulate_job(p: &Parsed) -> Result<String, ArgError> {
         ..SimParams::default()
     };
     let m = if wants_observability(p) {
-        let mut rec = CliRecorder::build(p, 1)?;
-        let m = vc_mapreduce::simulate_job_traced(&cluster, &job, &params, rec.as_recorder(), 0, 0);
-        write_observability(p, &mut rec)?;
-        m
+        // The workload digest covers everything that shapes the job:
+        // the VM spread, the workload profile, and the task counts.
+        let workload_name = p.str_or("workload", "wordcount");
+        let mut wh = Fnv64::new();
+        wh.write_str(workload_name)
+            .write_u64(u64::from(job.num_maps()))
+            .write_u64(u64::from(reducers));
+        for &s in &spread {
+            wh.write_u64(u64::from(s));
+        }
+        let manifest = RunManifest::new(
+            env!("CARGO_PKG_VERSION"),
+            "simulate-job",
+            params.seed,
+            "pinned-spread",
+            0,
+            topo_digest,
+            wh.finish(),
+            vec![
+                (
+                    "spread".to_string(),
+                    format!("{},{},{}", spread[0], spread[1], spread[2]),
+                ),
+                ("workload".to_string(), workload_name.to_string()),
+                ("maps".to_string(), maps.to_string()),
+                ("reducers".to_string(), reducers.to_string()),
+                (
+                    "straggler-prob".to_string(),
+                    params.straggler_prob.to_string(),
+                ),
+                (
+                    "speculative".to_string(),
+                    params.speculative_execution.to_string(),
+                ),
+            ],
+        );
+        run_recorded_command(p, 1, &manifest, false, |r| {
+            vc_mapreduce::simulate_job_traced(&cluster, &job, &params, r, 0, 0)
+        })?
+        .result
     } else {
         vc_mapreduce::simulate_job(&cluster, &job, &params)
     };
@@ -537,6 +741,7 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
         PolicyMode::Individual(policy_by_name(policy_name, scan)?)
     };
     let total = trace.len();
+    let workload_digest = trace_digest(&trace);
     let mut config = SimConfig::new(trace, mode, seed);
     if let Some(w) = ts_window(p)? {
         config = config.with_timeseries(w);
@@ -549,10 +754,23 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
     // The watchdog only runs against a live recorder, so `--health`
     // forces the recorded path even without an `--*-out` export.
     let result = if wants_observability(p) || audited {
-        let mut rec = CliRecorder::build(p, p.num_or("placement-threads", 1usize)?)?;
-        let result = vc_cloudsim::sim::run_recorded(&cloud, config, rec.as_recorder());
-        write_observability(p, &mut rec)?;
-        result
+        let mut entries = cloud_config_entries(p)?;
+        entries.extend(config.manifest_entries());
+        let manifest = RunManifest::new(
+            env!("CARGO_PKG_VERSION"),
+            "simulate-queue",
+            seed,
+            &config.policy_name(),
+            config.ts_window_us.unwrap_or(0),
+            topology_digest(cloud.topology()),
+            workload_digest,
+            entries,
+        );
+        let threads = p.num_or("placement-threads", 1usize)?;
+        run_recorded_command(p, threads, &manifest, false, |r| {
+            vc_cloudsim::sim::run_recorded(&cloud, config, r)
+        })?
+        .result
     } else {
         vc_cloudsim::sim::run(&cloud, config)
     };
@@ -595,6 +813,18 @@ pub fn simulate_queue(p: &Parsed) -> Result<String, ArgError> {
 /// placed virtual clusters, with the whole run recorded so
 /// `--trace-out`/`--metrics-out` capture every layer at once.
 pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
+    simulate_impl(p, None, false).map(|(out, _)| out)
+}
+
+/// The `simulate` body, parameterised for paired mode: `seed_override`
+/// replaces `--seed` (so `vc diff --seeds N` can sweep a seed range),
+/// and `capture` forces the run document to be built and returned even
+/// when no `--metrics-out` artefact asked for it.
+fn simulate_impl(
+    p: &Parsed,
+    seed_override: Option<u64>,
+    capture: bool,
+) -> Result<(String, Option<serde_json::Value>), ArgError> {
     p.ensure_known(&[
         "requests",
         "rate",
@@ -628,7 +858,10 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
     if rate <= 0.0 {
         return Err(ArgError::new("--rate must be positive"));
     }
-    let seed = p.num_or("seed", 0u64)?;
+    let seed = match seed_override {
+        Some(s) => s,
+        None => p.num_or("seed", 0u64)?,
+    };
     let process = ArrivalProcess {
         rate_per_s: rate,
         profile: RequestProfile::standard(),
@@ -671,6 +904,7 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
     };
 
     let total = trace.len();
+    let workload_digest = trace_digest(&trace);
     let mut config = SimConfig::new(trace, mode, seed).with_service(service);
     if let Some(w) = ts_window(p)? {
         config = config.with_timeseries(w);
@@ -678,14 +912,33 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
     if let Some(h) = health_policy(p)? {
         config = config.with_health(h);
     }
-    let mut rec = CliRecorder::build(p, p.num_or("placement-threads", 1usize)?)?;
-    let result = vc_cloudsim::sim::run_recorded(&cloud, config, rec.as_recorder());
-    write_observability(p, &mut rec)?;
-    let snap = rec.metrics()?;
-    let (num_spans, num_events) = rec.span_event_counts()?;
+    let mut entries = cloud_config_entries(p)?;
+    entries.extend(config.manifest_entries());
+    entries.push(("rate".to_string(), rate.to_string()));
+    entries.push((
+        "workload".to_string(),
+        p.str_or("workload", "wordcount").to_string(),
+    ));
+    let manifest = RunManifest::new(
+        env!("CARGO_PKG_VERSION"),
+        "simulate",
+        seed,
+        &config.policy_name(),
+        config.ts_window_us.unwrap_or(0),
+        topology_digest(cloud.topology()),
+        workload_digest,
+        entries,
+    );
+    let threads = p.num_or("placement-threads", 1usize)?;
+    let run = run_recorded_command(p, threads, &manifest, capture, |r| {
+        vc_cloudsim::sim::run_recorded(&cloud, config, r)
+    })?;
+    let result = &run.result;
+    let snap = &run.metrics;
+    let (num_spans, num_events) = (run.spans, run.events);
 
-    if p.switch("json") {
-        return Ok(serde_json::json!({
+    let out = if p.switch("json") {
+        serde_json::json!({
             "policy": policy_name,
             "service": service_name,
             "served": result.served,
@@ -697,22 +950,574 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
             "counters": snap.counters.len(),
             "histograms": snap.histograms.len(),
         })
+        .to_string()
+    } else {
+        format!(
+            "policy {policy_name}, service {service_name}: served {}/{} (refused {}), \
+             Σdistance {}, mean wait {:.1}s\n\
+             recorded {} events, {} spans, {} counters, {} histograms\n",
+            result.served,
+            total,
+            result.refused,
+            result.total_distance,
+            result.mean_wait.as_secs_f64(),
+            num_events,
+            num_spans,
+            snap.counters.len(),
+            snap.histograms.len(),
+        )
+    };
+    Ok((out, run.doc))
+}
+
+/// 1-based line number of a byte offset in `text`.
+fn byte_line(text: &str, byte: usize) -> usize {
+    text.as_bytes()
+        .iter()
+        .take(byte)
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// 1-based line of the first occurrence of `needle` (line 1 if absent).
+fn line_of(text: &str, needle: &str) -> usize {
+    text.find(needle).map_or(1, |pos| byte_line(text, pos))
+}
+
+/// Line of a manifest field inside a run document: search for the
+/// quoted field name from the `"manifest"` key onward so a same-named
+/// key elsewhere (e.g. `timeseries.window_us`) cannot shadow it.
+fn manifest_field_line(text: &str, field: &str) -> usize {
+    let start = text.find("\"manifest\"").unwrap_or(0);
+    let needle = format!("\"{field}\"");
+    match text[start..].find(&needle) {
+        Some(off) => byte_line(text, start + off),
+        None => line_of(text, "\"manifest\""),
+    }
+}
+
+/// Load one run document for `vc diff`, locating parse errors by line.
+fn load_run_doc(path: &str) -> Result<(String, serde_json::Value), ArgError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError::new(format!("{path}: I/O error: {e}")))?;
+    match serde_json::from_str(&text) {
+        Ok(doc) => Ok((text, doc)),
+        Err(e) => {
+            // The parser reports byte offsets; surface the line instead.
+            let msg = e.to_string();
+            let line = msg
+                .rfind("byte ")
+                .and_then(|i| {
+                    msg[i + 5..]
+                        .chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                        .parse::<usize>()
+                        .ok()
+                })
+                .map_or(1, |b| byte_line(&text, b));
+            Err(ArgError::new(format!("{path}: line {line}: {msg}")))
+        }
+    }
+}
+
+/// Map a [`vc_obs::DiffError`] onto the offending file and line.
+fn locate_diff_error(err: vc_obs::DiffError, base: (&str, &str), cand: (&str, &str)) -> ArgError {
+    use vc_obs::diff::Side;
+    let side_file = |s: Side| match s {
+        Side::Baseline => base,
+        Side::Candidate => cand,
+    };
+    match &err {
+        vc_obs::DiffError::MissingManifest(side) => {
+            let (path, _) = side_file(*side);
+            ArgError::new(format!("{path}: line 1: {err}"))
+        }
+        vc_obs::DiffError::Manifest(side, _) => {
+            let (path, text) = side_file(*side);
+            ArgError::new(format!(
+                "{path}: line {}: {err}",
+                line_of(text, "\"manifest\"")
+            ))
+        }
+        vc_obs::DiffError::Incomparable { field, .. } => {
+            let (path, text) = cand;
+            ArgError::new(format!(
+                "{path}: line {}: {err}",
+                manifest_field_line(text, field)
+            ))
+        }
+    }
+}
+
+/// Options shared by `diff` and `compare`.
+const DIFF_OPTIONS: &[&str] = &[
+    "json",
+    "fail-on-regress",
+    "tolerance-pct",
+    "top",
+    "seeds",
+    "seed",
+    "config-a",
+    "config-b",
+];
+
+/// `affinity-vc diff` — align two recorded run documents, classify
+/// every delta, and attribute the makespan delta to critical-path
+/// categories and gating links. Paired mode (`--config-a`/`--config-b`
+/// [`--seeds N`]) re-runs both configs over common seeds instead.
+pub fn diff(p: &Parsed, files: &[String]) -> Result<String, ArgError> {
+    p.ensure_known(DIFF_OPTIONS)?;
+    let opts = DiffOptions {
+        tolerance_pct: p.num_or("tolerance-pct", 0.0f64)?,
+        top: p.num_or("top", 5usize)?,
+    };
+    if opts.tolerance_pct < 0.0 {
+        return Err(ArgError::new("--tolerance-pct must be non-negative"));
+    }
+    let paired = !p.str_or("config-a", "").is_empty()
+        || !p.str_or("config-b", "").is_empty()
+        || !p.str_or("seeds", "").is_empty();
+    if paired {
+        if !files.is_empty() {
+            return Err(ArgError::new(
+                "paired mode re-runs both configs itself; drop the file operands",
+            ));
+        }
+        return diff_paired(p, &opts, 5);
+    }
+    let [baseline_path, candidate_path] = files else {
+        return Err(ArgError::new(
+            "diff compares exactly two run documents: \
+             `affinity-vc diff <baseline.json> <candidate.json>` (files written by \
+             `simulate --metrics-out`), or paired mode via --config-a/--config-b [--seeds N]",
+        ));
+    };
+    let (base_text, base_doc) = load_run_doc(baseline_path)?;
+    let (cand_text, cand_doc) = load_run_doc(candidate_path)?;
+    let report = vc_obs::diff(&base_doc, &cand_doc, &opts).map_err(|e| {
+        locate_diff_error(e, (baseline_path, &base_text), (candidate_path, &cand_text))
+    })?;
+    let warnings = vc_obs::diff::comparability_warnings(&report.baseline, &report.candidate);
+
+    let gate = p.switch("fail-on-regress");
+    if gate && report.regressed() > 0 {
+        let names = report.regressed_names();
+        return Err(ArgError::new(format!(
+            "diff gate: FAIL — {} regression(s): {}",
+            names.len(),
+            names.join(", ")
+        )));
+    }
+    if p.switch("json") {
+        let serde_json::Value::Object(mut entries) = report.to_json() else {
+            return Err(ArgError::new("internal: diff report is not an object"));
+        };
+        entries.push((
+            "warnings".to_string(),
+            serde_json::Value::Array(
+                warnings
+                    .iter()
+                    .cloned()
+                    .map(serde_json::Value::Str)
+                    .collect(),
+            ),
+        ));
+        if gate {
+            entries.push((
+                "gate".to_string(),
+                serde_json::Value::Str("pass".to_string()),
+            ));
+        }
+        return Ok(serde_json::Value::Object(entries).to_string());
+    }
+    let mut out = render_diff(&report, &warnings);
+    if gate {
+        out.push_str("diff gate: PASS — no regressions\n");
+    }
+    Ok(out)
+}
+
+/// The human-readable diff table plus the ranked explanation section.
+fn render_diff(report: &DiffReport, warnings: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "diff — baseline `{}` seed {} vs candidate `{}` seed {}\n",
+        report.baseline.policy,
+        report.baseline.seed,
+        report.candidate.policy,
+        report.candidate.seed,
+    ));
+    for w in warnings {
+        out.push_str(&format!("  warning: {w}\n"));
+    }
+    out.push_str(&format!(
+        "  compared {} metric(s): {} changed, {} improved, {} regressed\n",
+        report.compared,
+        report.changed(),
+        report.improved(),
+        report.regressed(),
+    ));
+    let scalar_rows: Vec<&vc_obs::diff::Delta> = report
+        .counters
+        .iter()
+        .chain(&report.gauges)
+        .chain(&report.histograms)
+        .chain(&report.alerts)
+        .chain(&report.makespan)
+        .collect();
+    if !scalar_rows.is_empty() || !report.series.is_empty() || !report.links.is_empty() {
+        out.push_str(&format!(
+            "\n  {:<38} {:>15} {:>15}  verdict\n",
+            "metric", "baseline", "candidate"
+        ));
+    }
+    for d in &scalar_rows {
+        out.push_str(&format!(
+            "  {:<38} {:>15} {:>15}  {}{}\n",
+            d.name,
+            fmt_ts_val(d.baseline),
+            fmt_ts_val(d.candidate),
+            d.verdict.label(),
+            if d.advisory { " (advisory)" } else { "" },
+        ));
+    }
+    for s in &report.series {
+        out.push_str(&format!(
+            "  {:<38} {:>15} {:>15}  {} (mean, {}/{} window(s) changed)\n",
+            s.name,
+            fmt_ts_val(s.mean_baseline),
+            fmt_ts_val(s.mean_candidate),
+            s.verdict.label(),
+            s.changed_windows,
+            s.windows,
+        ));
+    }
+    for l in &report.links {
+        out.push_str(&format!(
+            "  {:<38} {:>15} {:>15}  {} (bytes)\n",
+            format!("net.link.{}", l.link),
+            l.bytes_baseline,
+            l.bytes_candidate,
+            l.verdict.label(),
+        ));
+    }
+    let expl = report.explanation();
+    out.push_str(&format!(
+        "\nexplanation — makespan delta {:+.3}s\n",
+        expl.makespan_delta_us as f64 / 1e6
+    ));
+    if expl.top_categories.is_empty() && expl.top_links.is_empty() && expl.top_gating.is_empty() {
+        out.push_str("  nothing moved; the runs are attribution-identical\n");
+    }
+    for c in &expl.top_categories {
+        out.push_str(&format!(
+            "  category {:<26} {:+.3}s\n",
+            c.category,
+            c.delta_us() as f64 / 1e6
+        ));
+    }
+    for l in &expl.top_links {
+        out.push_str(&format!(
+            "  link     {:<26} {:+} B (peak util {:.2} -> {:.2})\n",
+            l.link,
+            l.bytes_delta(),
+            l.peak_util_baseline,
+            l.peak_util_candidate,
+        ));
+    }
+    for g in &expl.top_gating {
+        out.push_str(&format!(
+            "  gating   {:<26} {} -> {} job(s)\n",
+            g.name, g.baseline, g.candidate
+        ));
+    }
+    for a in &expl.top_alerts {
+        out.push_str(&format!(
+            "  alert    {:<26} {} -> {}\n",
+            a.name,
+            fmt_ts_val(a.baseline),
+            fmt_ts_val(a.candidate)
+        ));
+    }
+    out
+}
+
+/// `affinity-vc compare` — the paired multi-seed A/B front door:
+/// `diff --config-a/--config-b` with `--seeds` defaulting to 5.
+pub fn compare(p: &Parsed, files: &[String]) -> Result<String, ArgError> {
+    p.ensure_known(DIFF_OPTIONS)?;
+    if !files.is_empty() {
+        return Err(ArgError::new(
+            "compare re-runs both configs itself; it takes no file operands",
+        ));
+    }
+    let opts = DiffOptions {
+        tolerance_pct: p.num_or("tolerance-pct", 0.0f64)?,
+        top: p.num_or("top", 5usize)?,
+    };
+    if opts.tolerance_pct < 0.0 {
+        return Err(ArgError::new("--tolerance-pct must be non-negative"));
+    }
+    diff_paired(p, &opts, 5)
+}
+
+/// Metrics the paired mode summarises, with their goodness direction
+/// (`true` = lower is better).
+const PAIRED_METRICS: &[(&str, bool)] = &[
+    ("attribution.makespan_us", true),
+    ("cloudsim.served", false),
+    ("cloudsim.refused", true),
+    ("cloudsim.wait_us.sum", true),
+    ("placement.dc.sum", true),
+    ("mr.shuffle.node_local_bytes", false),
+    ("mr.shuffle.remote_bytes", true),
+    ("net.rack_uplink.bytes", true),
+];
+
+/// Read one paired-mode metric out of a run document.
+fn paired_metric(doc: &serde_json::Value, name: &str) -> f64 {
+    match name {
+        "attribution.makespan_us" => doc
+            .get("attribution")
+            .and_then(|a| a.get("jobs"))
+            .and_then(serde_json::Value::as_array)
+            .map(|jobs| {
+                jobs.iter()
+                    .filter_map(|j| j.get("makespan_us").and_then(serde_json::Value::as_u64))
+                    .sum::<u64>() as f64
+            })
+            .unwrap_or(0.0),
+        "net.rack_uplink.bytes" => doc
+            .get("counters")
+            .and_then(serde_json::Value::as_object)
+            .map(|counters| {
+                counters
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("net.link.rack") && k.ends_with(".up.bytes"))
+                    .filter_map(|(_, v)| v.as_f64())
+                    .sum()
+            })
+            .unwrap_or(0.0),
+        _ => {
+            if let Some(hist) = name.strip_suffix(".sum") {
+                if let Some(v) = doc
+                    .get("histograms")
+                    .and_then(|h| h.get(hist))
+                    .and_then(|h| h.get("sum"))
+                    .and_then(serde_json::Value::as_f64)
+                {
+                    return v;
+                }
+            }
+            doc.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(0.0)
+        }
+    }
+}
+
+/// One summarised metric of a paired comparison.
+struct PairedRow {
+    name: &'static str,
+    lower_better: bool,
+    median_ratio: Option<f64>,
+    a_wins: usize,
+    b_wins: usize,
+    ties: usize,
+}
+
+/// Paired multi-seed mode: re-run `--config-a` and `--config-b`
+/// in-process over `--seeds` common seeds and report, per metric, the
+/// median B/A ratio plus sign-test-style win counts.
+fn diff_paired(p: &Parsed, opts: &DiffOptions, default_seeds: usize) -> Result<String, ArgError> {
+    if p.switch("fail-on-regress") {
+        return Err(ArgError::new(
+            "--fail-on-regress applies to the two-file mode; paired mode reports ratios",
+        ));
+    }
+    let seeds = p.num_or("seeds", default_seeds)?;
+    if seeds == 0 {
+        return Err(ArgError::new("--seeds must be positive"));
+    }
+    let config_a = p.required("config-a")?;
+    let config_b = p.required("config-b")?;
+    let base_seed = p.num_or("seed", 0u64)?;
+    let parse_config = |label: &str, s: &str| -> Result<Parsed, ArgError> {
+        let args: Vec<String> = s.split_whitespace().map(str::to_string).collect();
+        let parsed = Parsed::parse(&args).map_err(|e| ArgError::new(format!("--{label}: {e}")))?;
+        for banned in [
+            "seed",
+            "trace-out",
+            "metrics-out",
+            "prom-out",
+            "series-out",
+            "stream-out",
+            "save-trace",
+        ] {
+            if !parsed.str_or(banned, "").is_empty() {
+                return Err(ArgError::new(format!(
+                    "--{label}: paired mode drives seeds and captures runs in-process; \
+                     drop --{banned} from the config string"
+                )));
+            }
+        }
+        Ok(parsed)
+    };
+    let pa = parse_config("config-a", config_a)?;
+    let pb = parse_config("config-b", config_b)?;
+
+    let mut pairs: Vec<(serde_json::Value, serde_json::Value)> = Vec::new();
+    for i in 0..seeds as u64 {
+        let seed = base_seed + i;
+        let (_, doc_a) = simulate_impl(&pa, Some(seed), true)?;
+        let (_, doc_b) = simulate_impl(&pb, Some(seed), true)?;
+        let (Some(a), Some(b)) = (doc_a, doc_b) else {
+            return Err(ArgError::new("internal: paired run produced no document"));
+        };
+        pairs.push((a, b));
+    }
+    // The first pair vouches for comparability (topology, window,
+    // schema) and supplies the soft warnings; later seeds share both
+    // configs, so they cannot disagree differently.
+    let first_report = vc_obs::diff(&pairs[0].0, &pairs[0].1, opts)
+        .map_err(|e| ArgError::new(format!("paired configs are not comparable: {e}")))?;
+    let warnings =
+        vc_obs::diff::comparability_warnings(&first_report.baseline, &first_report.candidate);
+
+    fn median(values: &mut [f64]) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        let n = values.len();
+        Some(if n % 2 == 1 {
+            values[n / 2]
+        } else {
+            (values[n / 2 - 1] + values[n / 2]) / 2.0
+        })
+    }
+
+    let mut rows: Vec<PairedRow> = Vec::new();
+    for &(name, lower_better) in PAIRED_METRICS {
+        let mut ratios: Vec<f64> = Vec::new();
+        let (mut a_wins, mut b_wins, mut ties) = (0usize, 0usize, 0usize);
+        let mut any_nonzero = false;
+        for (a, b) in &pairs {
+            let va = paired_metric(a, name);
+            let vb = paired_metric(b, name);
+            any_nonzero |= va != 0.0 || vb != 0.0;
+            if va > 0.0 {
+                ratios.push(vb / va);
+            }
+            if va == vb {
+                ties += 1;
+            } else if if lower_better { vb < va } else { vb > va } {
+                b_wins += 1;
+            } else {
+                a_wins += 1;
+            }
+        }
+        if !any_nonzero {
+            continue;
+        }
+        rows.push(PairedRow {
+            name,
+            lower_better,
+            median_ratio: median(&mut ratios),
+            a_wins,
+            b_wins,
+            ties,
+        });
+    }
+
+    if p.switch("json") {
+        let metric_objs: Vec<serde_json::Value> = rows
+            .iter()
+            .map(|r| {
+                serde_json::Value::Object(vec![
+                    (
+                        "metric".to_string(),
+                        serde_json::Value::Str(r.name.to_string()),
+                    ),
+                    (
+                        "direction".to_string(),
+                        serde_json::Value::Str(
+                            if r.lower_better {
+                                "lower-better"
+                            } else {
+                                "higher-better"
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    (
+                        "median_ratio".to_string(),
+                        match r.median_ratio {
+                            Some(m) => serde_json::Value::F64(m),
+                            None => serde_json::Value::Null,
+                        },
+                    ),
+                    (
+                        "b_wins".to_string(),
+                        serde_json::Value::U64(r.b_wins as u64),
+                    ),
+                    (
+                        "a_wins".to_string(),
+                        serde_json::Value::U64(r.a_wins as u64),
+                    ),
+                    ("ties".to_string(), serde_json::Value::U64(r.ties as u64)),
+                ])
+            })
+            .collect();
+        return Ok(serde_json::Value::Object(vec![
+            ("seeds".to_string(), serde_json::Value::U64(seeds as u64)),
+            ("seed_start".to_string(), serde_json::Value::U64(base_seed)),
+            (
+                "config_a".to_string(),
+                serde_json::Value::Str(config_a.to_string()),
+            ),
+            (
+                "config_b".to_string(),
+                serde_json::Value::Str(config_b.to_string()),
+            ),
+            (
+                "warnings".to_string(),
+                serde_json::Value::Array(
+                    warnings
+                        .iter()
+                        .cloned()
+                        .map(serde_json::Value::Str)
+                        .collect(),
+                ),
+            ),
+            ("metrics".to_string(), serde_json::Value::Array(metric_objs)),
+        ])
         .to_string());
     }
-    Ok(format!(
-        "policy {policy_name}, service {service_name}: served {}/{} (refused {}), \
-         Σdistance {}, mean wait {:.1}s\n\
-         recorded {} events, {} spans, {} counters, {} histograms\n",
-        result.served,
-        total,
-        result.refused,
-        result.total_distance,
-        result.mean_wait.as_secs_f64(),
-        num_events,
-        num_spans,
-        snap.counters.len(),
-        snap.histograms.len(),
-    ))
+
+    let mut out = format!(
+        "paired diff — {seeds} seed(s) starting at {base_seed}\n  A: `{config_a}`\n  B: `{config_b}`\n"
+    );
+    for w in &warnings {
+        out.push_str(&format!("  warning: {w}\n"));
+    }
+    out.push_str(&format!(
+        "\n  {:<30} {:>12} {:>7} {:>7} {:>5}\n",
+        "metric", "median(B/A)", "B-wins", "A-wins", "ties"
+    ));
+    for r in &rows {
+        let m = r
+            .median_ratio
+            .map_or_else(|| "-".to_string(), |m| format!("{m:.3}"));
+        out.push_str(&format!(
+            "  {:<30} {:>12} {:>7} {:>7} {:>5}\n",
+            r.name, m, r.b_wins, r.a_wins, r.ties
+        ));
+    }
+    Ok(out)
 }
 
 /// One `u64` attribute of a dumped audit event, defaulting to 0.
@@ -1699,11 +2504,19 @@ fn render_timeline(set: &TimeSeriesSet) -> String {
 /// Load a perf JSON document for `profile`: either a full
 /// `report --perf --json` output (the `perf` key is extracted) or a bare
 /// perf object as saved from it.
-fn load_perf(path: &str) -> Result<serde_json::Value, ArgError> {
+fn load_perf(path: &str) -> Result<(serde_json::Value, Option<RunManifest>), ArgError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| ArgError::new(format!("{path}: I/O error: {e}")))?;
     let doc: serde_json::Value =
         serde_json::from_str(&text).map_err(|e| ArgError::new(format!("{path}: {e}")))?;
+    // Full `report --json` documents embed the metrics snapshot, which
+    // carries the run manifest; surface it so `profile` can warn when
+    // the two perf snapshots come from different runs.
+    let manifest = doc
+        .get("metrics")
+        .and_then(|m| m.get(MANIFEST_KEY))
+        .or_else(|| doc.get(MANIFEST_KEY))
+        .and_then(|v| RunManifest::from_json(v).ok());
     let perf = doc.get("perf").cloned().unwrap_or(doc);
     if perf.get("solver").is_none() {
         return Err(ArgError::new(format!(
@@ -1711,7 +2524,7 @@ fn load_perf(path: &str) -> Result<serde_json::Value, ArgError> {
              `report --perf --json --metrics <FILE>`)"
         )));
     }
-    Ok(perf)
+    Ok((perf, manifest))
 }
 
 /// One gated metric: dotted path into a perf document plus how to gate it.
@@ -1748,12 +2561,31 @@ pub fn profile(p: &Parsed) -> Result<String, ArgError> {
         "max-wall-regress-pct",
         "json",
     ])?;
-    let current = load_perf(p.required("current")?)?;
-    let baseline = load_perf(p.required("baseline")?)?;
+    let (current, current_manifest) = load_perf(p.required("current")?)?;
+    let (baseline, baseline_manifest) = load_perf(p.required("baseline")?)?;
     let max_regress = p.num_or("max-regress-pct", 10.0f64)?;
     let max_wall = p.num_or("max-wall-regress-pct", -1.0f64)?;
     if max_regress < 0.0 {
         return Err(ArgError::new("--max-regress-pct must be non-negative"));
+    }
+
+    // When both snapshots carry a run manifest, flag apples-to-oranges
+    // comparisons before the effort-counter diff can mislead anyone.
+    let mut warnings: Vec<String> = Vec::new();
+    if let (Some(cur_m), Some(base_m)) = (&current_manifest, &baseline_manifest) {
+        if !cur_m.same_config(base_m) {
+            warnings.push(format!(
+                "runs use different configurations (baseline `{}`, current `{}`); \
+                 effort counters are not directly comparable",
+                base_m.command, cur_m.command
+            ));
+        } else if cur_m.seed != base_m.seed {
+            warnings.push(format!(
+                "runs use different seeds (baseline {}, current {}); \
+                 deterministic counters may differ for seed reasons alone",
+                base_m.seed, cur_m.seed
+            ));
+        }
     }
 
     let mut metrics: Vec<PerfMetric> = vec![
@@ -1821,6 +2653,9 @@ pub fn profile(p: &Parsed) -> Result<String, ArgError> {
     let mut rows: Vec<serde_json::Value> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
     let mut text = String::from("perf comparison (current vs baseline):\n");
+    for w in &warnings {
+        text.push_str(&format!("  warning: {w}\n"));
+    }
     for m in &metrics {
         let cur = read(&current, m.name);
         let base = read(&baseline, m.name);
@@ -1868,11 +2703,27 @@ pub fn profile(p: &Parsed) -> Result<String, ArgError> {
             rows.len()
         );
         if p.switch("json") {
-            return Ok(serde_json::json!({
-                "verdict": "PASS",
-                "max_regress_pct": max_regress,
-                "metrics": rows,
-            })
+            return Ok(serde_json::Value::Object(vec![
+                (
+                    "verdict".to_string(),
+                    serde_json::Value::Str("PASS".to_string()),
+                ),
+                (
+                    "max_regress_pct".to_string(),
+                    serde_json::Value::F64(max_regress),
+                ),
+                (
+                    "warnings".to_string(),
+                    serde_json::Value::Array(
+                        warnings
+                            .iter()
+                            .cloned()
+                            .map(serde_json::Value::Str)
+                            .collect(),
+                    ),
+                ),
+                ("metrics".to_string(), serde_json::Value::Array(rows)),
+            ])
             .to_string());
         }
         Ok(format!("{text}{verdict}\n"))

@@ -27,6 +27,15 @@ pub fn run(argv: &[String]) -> Result<String, ArgError> {
     let Some((command, rest)) = argv.split_first() else {
         return Ok(usage());
     };
+    // `diff`/`compare` take file operands, so they parse positionals.
+    if command == "diff" || command == "compare" {
+        let (parsed, files) = Parsed::parse_with_positionals(rest)?;
+        return if command == "diff" {
+            commands::diff(&parsed, &files)
+        } else {
+            commands::compare(&parsed, &files)
+        };
+    }
     let parsed = Parsed::parse(rest)?;
     match command.as_str() {
         "place" => commands::place(&parsed),
@@ -57,6 +66,8 @@ COMMANDS:
     simulate-queue    run a request-queue simulation
     simulate          end-to-end: queue + placement + MapReduce (alias: run)
     report            analyse a recorded trace: critical path + placement audit
+    diff              compare two recorded runs: metric deltas + attribution
+    compare           paired multi-seed A/B re-run of two configs
     profile           compare two perf snapshots; fail on regressions
     derive-distance   derive a distance matrix from network latencies
     help              show this text
@@ -147,6 +158,24 @@ REPORT OPTIONS:
                            above severity S (info|warn|critical) fired;
                            implies --health
     --json                 emit the full report as JSON
+
+DIFF OPTIONS:
+    affinity-vc diff <BASELINE.json> <CANDIDATE.json>
+                           run documents written by `simulate --metrics-out`;
+                           both must carry a run manifest and agree on
+                           schema, --window-us and topology
+    --tolerance-pct <F>    treat relative deltas below this as neutral for
+                           non-deterministic metrics       [default: 0]
+    --top <N>              rows in the explanation section  [default: 5]
+    --fail-on-regress      exit 1 (`diff gate: FAIL`) if any non-advisory
+                           metric regressed; prints `diff gate: PASS`
+                           otherwise
+    --json                 emit the full diff report as JSON
+  Paired mode (also the `compare` command):
+    --config-a <ARGS>      quoted simulate flags for side A (e.g. '--policy global')
+    --config-b <ARGS>      quoted simulate flags for side B
+    --seeds <N>            common seeds to re-run per side  [default: 5]
+    --seed <N>             first seed                       [default: 0]
 
 PROFILE OPTIONS:
     --current <FILE>       perf JSON to check (from `report --perf --json`)
@@ -729,14 +758,13 @@ mod obs_cli_tests {
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.split_whitespace();
             let (name, value) = (parts.next().unwrap(), parts.next().unwrap());
+            // Label values may contain arbitrary characters; the bare
+            // metric name before any label set must be sanitized.
+            let bare = name.split('{').next().unwrap();
             assert!(
-                name.chars().all(|c| c.is_ascii_alphanumeric()
+                bare.chars().all(|c| c.is_ascii_alphanumeric()
                     || c == '_'
                     || c == ':'
-                    || c == '{'
-                    || c == '}'
-                    || c == '"'
-                    || c == '='
                     || c == '+'
                     || c == '.'
                     || c == '-'),
@@ -1190,5 +1218,254 @@ mod obs_cli_tests {
             sum("ts.refused.delta") as u64,
             sim["refused"].as_u64().unwrap()
         );
+    }
+}
+
+#[cfg(test)]
+mod diff_cli_tests {
+    use super::*;
+    use serde_json::Value;
+
+    fn call(args: &[&str]) -> Result<String, ArgError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    fn tmp(name: &str) -> (std::path::PathBuf, String) {
+        let path = std::env::temp_dir().join(name);
+        let s = path.to_str().unwrap().to_string();
+        (path, s)
+    }
+
+    /// Record one simulate run document to `name` and return its path.
+    fn record_run(name: &str, extra: &[&str]) -> (std::path::PathBuf, String) {
+        let (path, s) = tmp(name);
+        let mut args = vec![
+            "simulate",
+            "--requests",
+            "5",
+            "--maps",
+            "4",
+            "--seed",
+            "11",
+            "--window-us",
+            "200000000",
+            "--metrics-out",
+            &s,
+        ];
+        args.extend_from_slice(extra);
+        call(&args).unwrap();
+        (path, s)
+    }
+
+    #[test]
+    fn metrics_out_embeds_manifest_and_attribution() {
+        let (path, s) = record_run("affinity_vc_diff_manifest.json", &[]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let manifest = doc.get("manifest").expect("manifest embedded");
+        assert_eq!(
+            manifest.get("command").and_then(Value::as_str),
+            Some("simulate")
+        );
+        assert_eq!(manifest.get("seed").and_then(Value::as_u64), Some(11));
+        assert!(manifest.get("topology_digest").is_some());
+        assert!(doc.get("attribution").and_then(|a| a.get("jobs")).is_some());
+        assert!(doc
+            .get("timeseries")
+            .and_then(|t| t.get("window_us"))
+            .is_some());
+        let _ = s;
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn self_diff_reports_zero_regressions_and_gate_passes() {
+        let (path, s) = record_run("affinity_vc_diff_self.json", &[]);
+        let out = call(&["diff", &s, &s, "--fail-on-regress", "--json"]).unwrap();
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        let summary = doc.get("summary").expect("summary");
+        assert_eq!(summary.get("regressed").and_then(Value::as_u64), Some(0));
+        assert_eq!(summary.get("improved").and_then(Value::as_u64), Some(0));
+        assert_eq!(doc.get("gate").and_then(Value::as_str), Some("pass"));
+        let text = call(&["diff", &s, &s, "--fail-on-regress"]).unwrap();
+        assert!(text.contains("diff gate: PASS"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn affinity_vs_spread_attributes_shuffle_network_and_uplinks() {
+        let (bp, bs) = record_run("affinity_vc_diff_aff.json", &[]);
+        let (cp, cs) = record_run("affinity_vc_diff_spread.json", &["--policy", "spread"]);
+        let out = call(&["diff", &bs, &cs, "--json"]).unwrap();
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        let expl = doc.get("explanation").expect("explanation section");
+        let categories: Vec<&str> = expl["top_categories"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|c| c.get("category").and_then(Value::as_str))
+            .collect();
+        assert!(
+            categories.contains(&"shuffle-network-wait"),
+            "categories: {categories:?}"
+        );
+        let links: Vec<&str> = expl["top_links"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|l| l.get("link").and_then(Value::as_str))
+            .collect();
+        assert!(
+            links
+                .iter()
+                .any(|l| l.starts_with("rack") && l.ends_with(".up")),
+            "links: {links:?}"
+        );
+        // Spread placement pushes shuffle traffic onto the rack uplinks.
+        let regressed_links: Vec<&str> = doc["links"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|l| l["verdict"].as_str() == Some("regressed"))
+            .filter_map(|l| l["link"].as_str())
+            .collect();
+        assert!(
+            regressed_links.iter().any(|n| n.starts_with("rack")),
+            "regressed links: {regressed_links:?}"
+        );
+        let err = call(&["diff", &bs, &cs, "--fail-on-regress"]).unwrap_err();
+        assert!(err.to_string().contains("diff gate: FAIL"), "{err}");
+        std::fs::remove_file(bp).ok();
+        std::fs::remove_file(cp).ok();
+    }
+
+    #[test]
+    fn window_mismatch_is_located_by_line() {
+        let (bp, bs) = record_run("affinity_vc_diff_w1.json", &[]);
+        let (cp, cs) = tmp("affinity_vc_diff_w2.json");
+        call(&[
+            "simulate",
+            "--requests",
+            "5",
+            "--maps",
+            "4",
+            "--seed",
+            "11",
+            "--window-us",
+            "100000000",
+            "--metrics-out",
+            &cs,
+        ])
+        .unwrap();
+        let err = call(&["diff", &bs, &cs]).unwrap_err().to_string();
+        assert!(err.contains("window_us"), "{err}");
+        assert!(err.contains("line "), "{err}");
+        assert!(err.contains("not comparable"), "{err}");
+        std::fs::remove_file(bp).ok();
+        std::fs::remove_file(cp).ok();
+    }
+
+    #[test]
+    fn missing_manifest_names_file_and_line_one() {
+        let (path, s) = tmp("affinity_vc_diff_nomanifest.json");
+        std::fs::write(&path, "{\"counters\": {}}\n").unwrap();
+        let err = call(&["diff", &s, &s]).unwrap_err().to_string();
+        assert!(err.contains("manifest"), "{err}");
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn paired_mode_reports_median_ratios() {
+        let out = call(&[
+            "diff",
+            "--config-a",
+            "--requests 4 --maps 4",
+            "--config-b",
+            "--requests 4 --maps 4 --policy spread",
+            "--seeds",
+            "3",
+            "--json",
+        ])
+        .unwrap();
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(doc["seeds"].as_u64(), Some(3));
+        let metrics = doc["metrics"].as_array().unwrap();
+        let makespan = metrics
+            .iter()
+            .find(|m| m["metric"].as_str() == Some("attribution.makespan_us"))
+            .expect("makespan row");
+        assert!(makespan["median_ratio"].as_f64().unwrap() > 0.0);
+        let wins = makespan["a_wins"].as_u64().unwrap()
+            + makespan["b_wins"].as_u64().unwrap()
+            + makespan["ties"].as_u64().unwrap();
+        assert_eq!(wins, 3, "each seed contributes one paired outcome");
+    }
+
+    #[test]
+    fn paired_mode_rejects_files_and_io_flags() {
+        let err = call(&["diff", "a.json", "b.json", "--seeds", "2"]).unwrap_err();
+        assert!(err.to_string().contains("paired mode"), "{err}");
+        let err = call(&[
+            "diff",
+            "--config-a",
+            "--requests 2 --metrics-out x.json",
+            "--config-b",
+            "--requests 2",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--metrics-out"), "{err}");
+    }
+
+    #[test]
+    fn profile_warns_on_mismatched_run_manifests() {
+        let (mp_a, ms_a) = tmp("affinity_vc_prof_a_metrics.json");
+        let (mp_b, ms_b) = tmp("affinity_vc_prof_b_metrics.json");
+        call(&[
+            "simulate",
+            "--requests",
+            "4",
+            "--seed",
+            "1",
+            "--metrics-out",
+            &ms_a,
+        ])
+        .unwrap();
+        call(&[
+            "simulate",
+            "--requests",
+            "4",
+            "--seed",
+            "2",
+            "--metrics-out",
+            &ms_b,
+        ])
+        .unwrap();
+        let (pp_a, ps_a) = tmp("affinity_vc_prof_a_perf.json");
+        let (pp_b, ps_b) = tmp("affinity_vc_prof_b_perf.json");
+        let perf_a = call(&["report", "--perf", "--json", "--metrics", &ms_a]).unwrap();
+        let perf_b = call(&["report", "--perf", "--json", "--metrics", &ms_b]).unwrap();
+        std::fs::write(&pp_a, perf_a).unwrap();
+        std::fs::write(&pp_b, perf_b).unwrap();
+        // Different seeds: profile still runs but warns.
+        let out = call(&[
+            "profile",
+            "--current",
+            &ps_a,
+            "--baseline",
+            &ps_b,
+            "--max-regress-pct",
+            "100000",
+        ])
+        .unwrap();
+        assert!(out.contains("warning:"), "{out}");
+        assert!(out.contains("different seeds"), "{out}");
+        // Same file on both sides: no warning.
+        let out = call(&["profile", "--current", &ps_a, "--baseline", &ps_a]).unwrap();
+        assert!(!out.contains("warning:"), "{out}");
+        for p in [mp_a, mp_b, pp_a, pp_b] {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

@@ -303,3 +303,92 @@ fn report_network_and_perf_on_single_node_placement() {
     assert!(v["perf"]["solver"]["solves"].as_u64().unwrap() > 0);
     assert_eq!(v["perf"]["solver"]["links_touched"].as_u64(), Some(0));
 }
+
+#[test]
+fn diff_missing_manifest_exits_one_with_line() {
+    let (path, path_s) = tmp("affinity_vc_diff_nomani.json");
+    std::fs::write(&path, "{\"counters\": {}}\n").unwrap();
+    let out = run(&["diff", &path_s, &path_s]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.starts_with("error:"), "{err}");
+    assert!(err.contains("manifest"), "{err}");
+    assert!(err.contains("line 1"), "{err}");
+}
+
+#[test]
+fn diff_corrupt_json_exits_one_naming_file_and_line() {
+    let (path, path_s) = tmp("affinity_vc_diff_corrupt.json");
+    std::fs::write(&path, "{\"counters\": {},\n  broken\n}\n").unwrap();
+    let out = run(&["diff", &path_s, &path_s]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains(&path_s), "error must name the file: {err}");
+    assert!(err.contains("line "), "error must name the line: {err}");
+}
+
+#[test]
+fn diff_topology_mismatch_exits_one_with_field_and_line() {
+    // Same seed, different cloud shape: the runs are not comparable and
+    // the refusal must name the differing manifest field with a line.
+    let (bp, bps) = tmp("affinity_vc_diff_topo_a.json");
+    let (cp, cps) = tmp("affinity_vc_diff_topo_b.json");
+    for (racks, path) in [("3", &bps), ("2", &cps)] {
+        let sim = run(&[
+            "simulate",
+            "--requests",
+            "3",
+            "--maps",
+            "4",
+            "--racks",
+            racks,
+            "--metrics-out",
+            path,
+        ]);
+        assert!(sim.status.success(), "{}", stderr(&sim));
+    }
+    let out = run(&["diff", &bps, &cps]);
+    std::fs::remove_file(&bp).ok();
+    std::fs::remove_file(&cp).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("topology_digest"), "{err}");
+    assert!(err.contains("line "), "{err}");
+    assert!(err.contains("not comparable"), "{err}");
+}
+
+#[test]
+fn diff_gate_trips_on_regression_with_greppable_verdict() {
+    let (bp, bps) = tmp("affinity_vc_diff_gate_a.json");
+    let (cp, cps) = tmp("affinity_vc_diff_gate_b.json");
+    for (policy, path) in [("global", &bps), ("spread", &cps)] {
+        let sim = run(&[
+            "simulate",
+            "--requests",
+            "5",
+            "--maps",
+            "4",
+            "--seed",
+            "7",
+            "--policy",
+            policy,
+            "--metrics-out",
+            path,
+        ]);
+        assert!(sim.status.success(), "{}", stderr(&sim));
+    }
+    // Identity passes the gate...
+    let ok = run(&["diff", &bps, &bps, "--fail-on-regress"]);
+    assert_eq!(ok.status.code(), Some(0), "{}", stderr(&ok));
+    assert!(stdout(&ok).contains("diff gate: PASS"), "{}", stdout(&ok));
+    // ...and the degraded placement trips it.
+    let out = run(&["diff", &bps, &cps, "--fail-on-regress"]);
+    std::fs::remove_file(&bp).ok();
+    std::fs::remove_file(&cp).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("diff gate: FAIL"), "{err}");
+    assert!(err.contains("regression"), "{err}");
+}

@@ -113,6 +113,45 @@ impl SimConfig {
         self.health = Some(policy);
         self
     }
+
+    /// The placement-policy name this config runs under, for run
+    /// manifests and reports.
+    pub fn policy_name(&self) -> String {
+        match &self.mode {
+            PolicyMode::Individual(policy) => policy.name().to_string(),
+            PolicyMode::GlobalBatch(admission, _) => format!("global-batch/{admission:?}"),
+        }
+    }
+
+    /// Identity facts for a run manifest (see `vc_obs::manifest`):
+    /// everything about this config that affects results, as sorted
+    /// key/value pairs. The caller merges in command-level knobs
+    /// (topology shape, workload parameters) it owns.
+    pub fn manifest_entries(&self) -> Vec<(String, String)> {
+        let service = match &self.service {
+            ServiceModel::Trace => "trace".to_string(),
+            ServiceModel::MapReduce { job, .. } => {
+                format!(
+                    "mapreduce/maps={}/reducers={}",
+                    job.num_maps(),
+                    job.num_reducers
+                )
+            }
+        };
+        vec![
+            ("policy".to_string(), self.policy_name()),
+            ("service".to_string(), service),
+            ("requests".to_string(), self.requests.len().to_string()),
+            (
+                "window_us".to_string(),
+                self.ts_window_us.unwrap_or(0).to_string(),
+            ),
+            (
+                "health".to_string(),
+                if self.health.is_some() { "on" } else { "off" }.to_string(),
+            ),
+        ]
+    }
 }
 
 /// Per-request outcome.

@@ -27,7 +27,9 @@
 //! counter tracks in the timeline.
 
 pub mod critical_path;
+pub mod diff;
 pub mod health;
+pub mod manifest;
 pub mod metrics;
 pub mod prof;
 pub mod prom;
@@ -38,9 +40,11 @@ pub mod timeseries;
 pub mod trace;
 
 pub use critical_path::{analyze, Category, JobAttribution, Segment, TraceDump, CATEGORIES};
+pub use diff::{diff, DiffError, DiffOptions, DiffReport, Verdict};
 pub use health::{
     AlertSink, HealthMonitor, HealthPolicy, Severity, WindowHealthSample, ALERT_PREFIX,
 };
+pub use manifest::{Fnv64, RunManifest, MANIFEST_KEY};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use prof::{Phase, PhaseTimer};
 pub use prom::{to_prometheus, to_prometheus_windowed};
@@ -48,6 +52,6 @@ pub use recorder::{
     AttrValue, EventRecord, MemRecorder, NoopRecorder, Recorder, SpanId, SpanRecord, TrackId,
 };
 pub use sharded::{MergedTrace, ShardedRecorder};
-pub use stream::{replay_jsonl, StreamingRecorder};
+pub use stream::{manifest_from_jsonl, replay_jsonl, StreamingRecorder};
 pub use timeseries::{TimeSeriesSet, WindowSampler, TS_PREFIX};
 pub use trace::{chrome_trace, chrome_trace_sharded};

@@ -440,6 +440,12 @@ pub fn replay_jsonl(text: &str) -> Result<MergedTrace, String> {
         }
         let obj: Value =
             serde_json::from_str(raw).map_err(|e| format!("line {line}: invalid JSON: {e}"))?;
+        // A stream may open with a `{"manifest": {...}}` header line
+        // (see `crate::manifest`); it carries no op and is skipped here.
+        // `manifest_from_jsonl` reads it.
+        if obj.get("o").is_none() && obj.get(crate::manifest::MANIFEST_KEY).is_some() {
+            continue;
+        }
         let t_us = get_u64(&obj, "t", line)?;
         let seq = get_u64(&obj, "q", line)?;
         let op = match get_str(&obj, "o", line)? {
@@ -496,6 +502,17 @@ pub fn replay_jsonl(text: &str) -> Result<MergedTrace, String> {
         ops.push(StampedOp { t_us, seq, op });
     }
     Ok(replay_ops(ops))
+}
+
+/// Extract the manifest JSON from a stream's header line, if the first
+/// non-empty line is a `{"manifest": {...}}` header written by the CLI.
+pub fn manifest_from_jsonl(text: &str) -> Option<Value> {
+    let first = text.lines().find(|l| !l.trim().is_empty())?;
+    let obj: Value = serde_json::from_str(first).ok()?;
+    if obj.get("o").is_some() {
+        return None;
+    }
+    obj.get(crate::manifest::MANIFEST_KEY).cloned()
 }
 
 #[cfg(test)]
@@ -588,6 +605,27 @@ mod tests {
         let unknown = "{\"t\":0,\"q\":0,\"o\":\"zz\"}\n";
         let err = replay_jsonl(unknown).unwrap_err();
         assert!(err.contains("unknown op tag"), "{err}");
+    }
+
+    #[test]
+    fn manifest_header_is_skipped_and_extractable() {
+        let body = record_stream();
+        let header = "{\"manifest\":{\"seed\":7,\"policy\":\"affinity\"}}\n";
+        let with_header = format!("{header}{body}");
+
+        // Replay ignores the header: identical merged trace.
+        let plain = replay_jsonl(&body).unwrap();
+        let headed = replay_jsonl(&with_header).unwrap();
+        assert_eq!(plain.metrics, headed.metrics);
+        assert_eq!(
+            format!("{:?}", plain.events),
+            format!("{:?}", headed.events)
+        );
+
+        // The header is extractable; a headerless stream yields None.
+        let m = manifest_from_jsonl(&with_header).unwrap();
+        assert_eq!(m.get("seed").and_then(|v| v.as_u64()), Some(7));
+        assert!(manifest_from_jsonl(&body).is_none());
     }
 
     #[test]
